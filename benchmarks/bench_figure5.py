@@ -1,0 +1,41 @@
+"""Benchmark: regenerate the paper's Figure 5 (trap-driven variability)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, settings, report):
+    # The full 9-size x 3-way grid over 4 workloads x 5 trials is the
+    # most expensive experiment; trim the size axis a little while
+    # keeping the interesting middle of the paper's range.
+    result = benchmark.pedantic(
+        figure5.run,
+        args=(settings,),
+        kwargs=dict(
+            cache_sizes=tuple(1024 * k for k in (8, 16, 32, 64, 128, 256)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report.append(result.render())
+
+    # Paper: verilog and gs (IBS) swing much more than eqntott and
+    # espresso (SPEC).
+    for ibs_workload in ("verilog", "gs"):
+        for spec_workload in ("eqntott", "espresso"):
+            assert result.peak_std(ibs_workload) > result.peak_std(
+                spec_workload
+            ), (ibs_workload, spec_workload)
+
+    # Paper: small amounts of associativity reduce variability.
+    for workload in ("verilog", "gs"):
+        assert (
+            result.peak_std(workload, ways=4)
+            < result.peak_std(workload, ways=1)
+        )
+
+    # eqntott's tiny footprint keeps its variability low in absolute
+    # terms, and it collapses entirely once the hot pages fit with room
+    # to spare (the paper's plot is flat from ~128 KB up).
+    assert result.peak_std("eqntott") < 0.03
+    large = result.cells[("eqntott", 256 * 1024, 1)]
+    assert large.std_cpi < 0.002

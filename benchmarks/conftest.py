@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one of the paper's tables or figures
+(via :mod:`repro.experiments`) under pytest-benchmark timing, prints the
+rendered reproduction next to the paper's numbers, and asserts the
+qualitative result the paper draws from it.
+
+``--benchmark-only`` runs exactly these; trace length is chosen so the
+whole suite completes in a few minutes while keeping the 8 KB-cache MPI
+estimates stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+#: Shared scale for all benchmark runs.
+BENCH_SETTINGS = ExperimentSettings(n_instructions=400_000, seed=0)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """The experiment settings every benchmark uses."""
+    return BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collector that prints each experiment's rendering at session end."""
+    sections: list[str] = []
+    yield sections
+    if sections:
+        print("\n\n" + "\n\n".join(sections))

@@ -1,0 +1,71 @@
+"""The Section 5 optimization ladder, one mechanism at a time.
+
+Takes the IBS `sdet` workload (the paper's most OS-intensive benchmark)
+on the economy memory system and applies the paper's instruction-fetch
+optimizations in order, printing the CPIinstr after each step — a
+single-workload version of the paper's Figure 7.
+
+Run:  python examples/fetch_optimization.py
+"""
+
+from repro import CacheGeometry, MemorySystemConfig, MemoryTiming, evaluate
+
+N = 400_000
+WORKLOAD, OS = "sdet", "mach3"
+L2 = CacheGeometry(64 * 1024, 64, 8)
+
+
+def main() -> None:
+    print(f"workload: {WORKLOAD} under {OS}; economy memory system\n")
+    steps = []
+
+    base = MemorySystemConfig.economy()
+    steps.append(("baseline (L1 -> memory)", evaluate(
+        WORKLOAD, OS, base, n_instructions=N)))
+
+    with_l2 = base.with_l2(L2)
+    steps.append(("+ 64KB 8-way on-chip L2", evaluate(
+        WORKLOAD, OS, with_l2, n_instructions=N)))
+
+    fast = with_l2.with_l1_interface(MemoryTiming(latency=6, bytes_per_cycle=32))
+    steps.append(("+ 32 B/cycle L1-L2 bandwidth", evaluate(
+        WORKLOAD, OS, fast, n_instructions=N)))
+
+    steps.append(("+ 1-line sequential prefetch", evaluate(
+        WORKLOAD, OS, fast, mechanism="prefetch", n_prefetch=1,
+        n_instructions=N)))
+
+    steps.append(("+ bypass buffers", evaluate(
+        WORKLOAD, OS, fast, mechanism="prefetch+bypass", n_prefetch=1,
+        n_instructions=N)))
+
+    pipelined = MemorySystemConfig(
+        "pipelined", l1=CacheGeometry(8192, 32, 1),
+        memory=base.memory, l2=L2,
+        l1_interface=MemoryTiming(latency=6, bytes_per_cycle=32),
+    )
+    steps.append(("+ pipelining + 6-line stream buffer", evaluate(
+        WORKLOAD, OS, pipelined, mechanism="stream-buffer", n_lines=6,
+        n_instructions=N)))
+
+    width = max(len(label) for label, _ in steps)
+    print(f"{'step'.ljust(width)}   L1 CPI   L2 CPI   total")
+    previous = None
+    for label, result in steps:
+        total = result.cpi_instr
+        delta = "" if previous is None else f"  ({total - previous:+.3f})"
+        print(
+            f"{label.ljust(width)}   {result.cpi_l1:6.3f}   "
+            f"{result.cpi_l2:6.3f}   {total:5.3f}{delta}"
+        )
+        previous = total
+
+    print(
+        "\nEven after every optimization, a stubborn CPIinstr floor "
+        "remains - the paper's conclusion: instruction fetch will "
+        "dominate multi-issue machines running bloated code."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim (the environment has no `wheel` package, so the
+PEP 517 editable path is unavailable; `pip install -e . --no-build-isolation
+--no-use-pep517` uses this instead)."""
+
+from setuptools import setup
+
+setup()

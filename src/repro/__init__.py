@@ -1,0 +1,84 @@
+"""repro — a reproduction of *Instruction Fetching: Coping with Code Bloat*
+(Uhlig, Nagle, Mudge, Sechrest, Emer; ISCA 1995).
+
+The library contains everything the paper's evaluation rests on, built
+from scratch in Python:
+
+* synthetic models of the IBS and SPEC workloads
+  (:mod:`repro.workloads`) that stand in for the original address
+  traces,
+* trace infrastructure (:mod:`repro.trace`),
+* cache, TLB and VM simulators (:mod:`repro.caches`, :mod:`repro.tlb`,
+  :mod:`repro.vm`),
+* instruction-fetch timing mechanisms — prefetch, bypass, stream
+  buffers (:mod:`repro.fetch`),
+* the measurement apparatus models (:mod:`repro.monitor`,
+  :mod:`repro.tapeworm`),
+* the CPI analysis framework (:mod:`repro.core`), and
+* one module per paper table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import evaluate, MemorySystemConfig
+
+    result = evaluate("groff", "mach3", MemorySystemConfig.economy())
+    print(result.cpi_instr)
+"""
+
+from repro.core import (
+    CpiBreakdown,
+    MemorySystemConfig,
+    MpiMeasurement,
+    StudyResult,
+    cpi_instr,
+    evaluate,
+    measure_mpi,
+    sweep,
+)
+from repro.caches import CacheGeometry, ThreeCs, classify_misses
+from repro.fetch import (
+    DemandFetchEngine,
+    MemoryTiming,
+    PrefetchBypassEngine,
+    PrefetchOnMissEngine,
+    StreamBufferEngine,
+)
+from repro.trace import Trace, load_trace, save_trace, to_line_runs
+from repro.workloads import (
+    WorkloadParams,
+    get_trace,
+    get_workload,
+    suite_workloads,
+    synthesize_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CpiBreakdown",
+    "MemorySystemConfig",
+    "MpiMeasurement",
+    "StudyResult",
+    "cpi_instr",
+    "evaluate",
+    "measure_mpi",
+    "sweep",
+    "CacheGeometry",
+    "ThreeCs",
+    "classify_misses",
+    "DemandFetchEngine",
+    "MemoryTiming",
+    "PrefetchBypassEngine",
+    "PrefetchOnMissEngine",
+    "StreamBufferEngine",
+    "Trace",
+    "load_trace",
+    "save_trace",
+    "to_line_runs",
+    "WorkloadParams",
+    "get_trace",
+    "get_workload",
+    "suite_workloads",
+    "synthesize_trace",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Internal utilities shared across the :mod:`repro` subpackages.
+
+Nothing in this package is part of the public API; import from the
+documented subpackages instead.
+"""
+
+from repro._util.bitops import is_power_of_two, ilog2, align_down, align_up
+from repro._util.validate import (
+    check_positive,
+    check_power_of_two,
+    check_in_range,
+    check_fraction,
+)
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "align_down",
+    "align_up",
+    "check_positive",
+    "check_power_of_two",
+    "check_in_range",
+    "check_fraction",
+]

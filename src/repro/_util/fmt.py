@@ -1,0 +1,57 @@
+"""Plain-text table and figure rendering for experiment reports.
+
+The experiment modules print their results in the same row/column layout
+as the paper's tables, and render figures as aligned text series, so a
+reader can diff the reproduction against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([_fmt_cell(c) for c in row] for row in rows)
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render one or more named series against a shared x-axis as a table."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            value = values[i]
+            row.append("-" if value is None else f"{value:.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)

@@ -1,0 +1,75 @@
+"""A small LRU-ordered set used by the associative cache and TLB models.
+
+Python dicts preserve insertion order and support O(1) move-to-end via
+delete/re-insert, which makes them an efficient LRU stack for the modest
+associativities (1-8 ways) and TLB sizes modelled here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Hashable
+
+
+class LruSet:
+    """A fixed-capacity set with least-recently-used eviction.
+
+    ``touch`` inserts or refreshes an entry and returns the evicted victim
+    (or ``None``).  Used as the per-set state of associative caches.
+    """
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self._capacity = capacity
+        self._entries: dict[Hashable, None] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident entries."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate entries from least to most recently used."""
+        return iter(self._entries)
+
+    def touch(self, key: Hashable) -> Hashable | None:
+        """Insert or refresh ``key``; return the evicted entry, if any.
+
+        A hit moves the entry to most-recently-used position.  A miss
+        inserts it, evicting the least-recently-used entry when full.
+        """
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+            entries[key] = None
+            return None
+        victim = None
+        if len(entries) >= self._capacity:
+            victim = next(iter(entries))
+            del entries[victim]
+        entries[key] = None
+        return victim
+
+    def peek_lru(self) -> Hashable | None:
+        """Return the least-recently-used entry without touching it."""
+        return next(iter(self._entries), None)
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove ``key`` if present; return whether it was resident."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Invalidate all entries."""
+        self._entries.clear()

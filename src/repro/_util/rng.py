@@ -1,0 +1,39 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library takes an explicit integer seed
+and derives child generators through :func:`spawn`, so any experiment is
+reproducible bit-for-bit and independent components never share a stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_ROOT_SEED = 0x1B5_CA95  # "IBS, ISCA '95"
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from an explicit seed.
+
+    ``None`` selects the library-wide default seed (still deterministic);
+    callers that want run-to-run variation must pass their own seeds.
+    """
+    if seed is None:
+        seed = _DEFAULT_ROOT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, label: str) -> np.random.Generator:
+    """Derive an independent child generator, keyed by a string label.
+
+    The label makes the derivation stable under code reordering: adding a
+    new consumer of randomness does not perturb existing streams.
+    """
+    # Fold the label into 64 bits with FNV-1a, then seed a child generator
+    # from the parent's stream combined with the label hash.
+    digest = 0xCBF29CE484222325
+    for byte in label.encode("utf-8"):
+        digest ^= byte
+        digest = (digest * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    mix = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng((digest, mix))

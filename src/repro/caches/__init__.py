@@ -1,0 +1,64 @@
+"""Cache simulators.
+
+Two complementary simulator families, mirroring the paper's dual
+methodology:
+
+* Sequential object simulators (:class:`SetAssociativeCache`,
+  :class:`SubblockCache`, :class:`CacheHierarchy`) that model one
+  reference at a time and expose full internal state — used by the
+  fetch-engine timing models and the trap-driven (Tapeworm-style)
+  harness.
+* Vectorized miss counters (:mod:`repro.caches.vectorized`) that process
+  whole numpy address columns at once — used by the large design-space
+  sweeps (Figures 1, 3, 4) where only miss counts matter.
+
+Miss classification (:mod:`repro.caches.classify`) implements the
+three-Cs breakdown exactly as the paper's Figure 1 caption describes.
+"""
+
+from repro.caches.base import CacheGeometry, CacheStats, ReplacementPolicy
+from repro.caches.setassoc import SetAssociativeCache
+from repro.caches.subblock import SubblockCache
+from repro.caches.hierarchy import CacheHierarchy, CacheLevelResult
+from repro.caches.physical import PhysicallyIndexedCache
+from repro.caches.vectorized import (
+    miss_mask_direct_mapped,
+    miss_mask_set_associative,
+    miss_mask_fully_associative,
+    compulsory_mask,
+    count_misses,
+)
+from repro.caches.classify import ThreeCs, classify_misses, classify_misses_exact
+from repro.caches.cml import CmlConflictAvoider, CmlResult
+from repro.caches.inclusion import InclusionReport, check_inclusion, inclusion_guaranteed
+from repro.caches.sampling import SampledEstimate, sampled_mpi
+from repro.caches.writepolicy import DataCache, DataCacheStats, WritePolicy
+
+__all__ = [
+    "CacheGeometry",
+    "CacheStats",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "SubblockCache",
+    "CacheHierarchy",
+    "CacheLevelResult",
+    "PhysicallyIndexedCache",
+    "miss_mask_direct_mapped",
+    "miss_mask_set_associative",
+    "miss_mask_fully_associative",
+    "compulsory_mask",
+    "count_misses",
+    "ThreeCs",
+    "classify_misses",
+    "classify_misses_exact",
+    "CmlConflictAvoider",
+    "CmlResult",
+    "InclusionReport",
+    "check_inclusion",
+    "inclusion_guaranteed",
+    "DataCache",
+    "DataCacheStats",
+    "WritePolicy",
+    "SampledEstimate",
+    "sampled_mpi",
+]

@@ -1,0 +1,136 @@
+"""Cache geometry, statistics, and replacement policies.
+
+:class:`CacheGeometry` is the single description of a cache's shape used
+across the whole library: the sequential simulators, the vectorized miss
+counters, the timing models and the experiment sweeps all take one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._util.bitops import ilog2
+from repro._util.validate import check_power_of_two, check_positive
+
+
+class ReplacementPolicy(enum.Enum):
+    """Replacement policy of an associative cache."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """The shape of a cache.
+
+    Attributes:
+        size_bytes: total data capacity in bytes (power of two).
+        line_size: line (block) size in bytes (power of two).
+        associativity: ways per set; ``0`` means fully associative.
+    """
+
+    size_bytes: int
+    line_size: int
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        check_power_of_two("size_bytes", self.size_bytes)
+        check_power_of_two("line_size", self.line_size)
+        if self.associativity < 0:
+            raise ValueError(
+                f"associativity must be >= 0 (0 = fully associative), "
+                f"got {self.associativity}"
+            )
+        if self.line_size > self.size_bytes:
+            raise ValueError(
+                f"line_size ({self.line_size}) exceeds cache size "
+                f"({self.size_bytes})"
+            )
+        ways = self.ways
+        if self.size_bytes // self.line_size < ways:
+            raise ValueError(
+                f"cache holds {self.size_bytes // self.line_size} lines, "
+                f"fewer than {ways} ways"
+            )
+        check_power_of_two("n_sets", self.n_sets)
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def ways(self) -> int:
+        """Effective associativity (n_lines when fully associative)."""
+        return self.n_lines if self.associativity == 0 else self.associativity
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_lines // self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of byte-offset bits within a line."""
+        return ilog2(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return ilog2(self.n_sets)
+
+    def line_number(self, address: int) -> int:
+        """The line number an address falls in."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """The set an address maps to."""
+        return (address >> self.offset_bits) & (self.n_sets - 1)
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``'8KB/32B/direct-mapped'``."""
+        if self.associativity == 0:
+            assoc = "fully-assoc"
+        elif self.associativity == 1:
+            assoc = "direct-mapped"
+        else:
+            assoc = f"{self.associativity}-way"
+        return f"{self.size_bytes // 1024}KB/{self.line_size}B/{assoc}"
+
+
+@dataclass
+class CacheStats:
+    """Running access statistics of a sequential cache simulator."""
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of hits."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0.0 when no accesses were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats records."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0

@@ -1,0 +1,179 @@
+"""Cache-miss-lookaside (CML) buffer with dynamic page remapping.
+
+Section 5.1 of the paper:
+
+    "This suggests that on-chip, associative L2 caches offer an
+    attractive alternative to the recently-proposed cache miss
+    lookaside (CML) buffers [Bershad94], which detect and remove
+    conflict misses only after they begin to affect performance."
+
+To make that comparison quantitative, this module implements the CML
+mechanism the paper refers to: a small fully-associative buffer of
+recently-evicted lines detects misses that are *conflict* misses (the
+line was just here); per-page conflict counters identify hot conflicting
+pages; when a page crosses the detection threshold, the OS remaps it to
+the least-loaded cache color (a page-granularity recoloring), paying a
+copy cost.  The extension experiment (``experiments.ext_conflict``) pits
+it against hardware associativity, victim caching and static page
+coloring — the design-space the paper sketches in one sentence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.bitops import ilog2
+from repro._util.lru import LruSet
+from repro._util.validate import check_positive, check_power_of_two
+from repro.caches.base import CacheGeometry
+
+#: Cycles to recolor one page (copy 4 KB + kernel overhead) — charged
+#: per remap when converting to CPI.
+DEFAULT_REMAP_COST_CYCLES = 3000
+
+
+@dataclass(frozen=True)
+class CmlResult:
+    """Outcome of a CML-governed simulation."""
+
+    accesses: int
+    misses: int
+    conflicts_detected: int
+    remaps: int
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def cpi_contribution(
+        self,
+        instructions: int,
+        miss_penalty: float,
+        remap_cost: float = DEFAULT_REMAP_COST_CYCLES,
+    ) -> float:
+        """Total CPI including the OS recoloring work."""
+        if instructions <= 0:
+            raise ValueError(f"instructions must be positive, got {instructions}")
+        return (
+            self.misses * miss_penalty + self.remaps * remap_cost
+        ) / instructions
+
+
+class CmlConflictAvoider:
+    """A direct-mapped, physically-indexed cache governed by a CML buffer.
+
+    The mapping model: a page's lines land in the cache region selected
+    by the page's *color*; initially color = page number mod colors (the
+    identity/sequential layout), and a remap assigns the least-populated
+    color.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        page_size: int = 4096,
+        cml_entries: int = 32,
+        conflict_threshold: int = 16,
+    ):
+        if geometry.associativity != 1:
+            raise ValueError("CML buffers assist direct-mapped caches")
+        check_power_of_two("page_size", page_size)
+        if geometry.size_bytes < page_size:
+            raise ValueError(
+                "cache smaller than a page has a single color; CML "
+                "remapping cannot help"
+            )
+        check_positive("cml_entries", cml_entries)
+        check_positive("conflict_threshold", conflict_threshold)
+        self.geometry = geometry
+        self.page_size = page_size
+        self.cml_entries = cml_entries
+        self.conflict_threshold = conflict_threshold
+        self._lines_per_page = page_size // geometry.line_size
+        self._lpp_bits = ilog2(self._lines_per_page)
+        self.n_colors = geometry.size_bytes // page_size
+        self._index_mask = geometry.n_sets - 1
+
+        self._sets: dict[int, int] = {}
+        self._cml = LruSet(cml_entries)
+        self._page_color: dict[int, int] = {}
+        self._conflict_count: dict[int, int] = {}
+        self._color_population = [0] * self.n_colors
+
+    def _color_of(self, page: int) -> int:
+        color = self._page_color.get(page)
+        if color is None:
+            color = page % self.n_colors
+            self._page_color[page] = color
+            self._color_population[color] += 1
+        return color
+
+    def _set_index(self, line: int) -> int:
+        page = line >> self._lpp_bits
+        within = line & (self._lines_per_page - 1)
+        return (
+            (self._color_of(page) << self._lpp_bits) | within
+        ) & self._index_mask
+
+    def simulate(self, lines: np.ndarray, skip: int = 0) -> CmlResult:
+        """Run the CML-governed cache over a line stream.
+
+        Args:
+            lines: line numbers (virtual; coloring is the mapping).
+            skip: number of leading references excluded from counting
+                (warmup), state still simulated.
+        """
+        sets = self._sets
+        cml = self._cml
+        misses = 0
+        conflicts = 0
+        remaps = 0
+        counted = 0
+        for i, line in enumerate(np.asarray(lines, dtype=np.uint64).tolist()):
+            measure = i >= skip
+            if measure:
+                counted += 1
+            index = self._set_index(line)
+            if sets.get(index) == line:
+                continue
+            if measure:
+                misses += 1
+            if line in cml:
+                # The line was evicted recently: a detected conflict.
+                cml.discard(line)
+                if measure:
+                    conflicts += 1
+                page = line >> self._lpp_bits
+                count = self._conflict_count.get(page, 0) + 1
+                if count >= self.conflict_threshold:
+                    self._remap(page)
+                    if measure:
+                        remaps += 1
+                    self._conflict_count[page] = 0
+                    index = self._set_index(line)
+                else:
+                    self._conflict_count[page] = count
+            victim = sets.get(index)
+            if victim is not None:
+                cml.touch(victim)
+            sets[index] = line
+        return CmlResult(
+            accesses=counted,
+            misses=misses,
+            conflicts_detected=conflicts,
+            remaps=remaps,
+        )
+
+    def _remap(self, page: int) -> None:
+        """Recolor ``page`` to the least-populated color."""
+        old = self._page_color.get(page)
+        new = int(np.argmin(self._color_population))
+        if old is not None:
+            self._color_population[old] -= 1
+        self._color_population[new] += 1
+        self._page_color[page] = new

@@ -1,0 +1,55 @@
+"""Physically-indexed cache simulation.
+
+The DECstation caches the paper measured are physically indexed, so the
+OS's virtual-to-physical page mapping decides which cache sets a page's
+lines land in.  With caches larger than the page size, different runs of
+the same workload get different mappings and therefore different
+conflict-miss patterns — the variability the paper's Figure 5 measures
+with Tapeworm.
+
+:class:`PhysicallyIndexedCache` composes a page mapping policy
+(:mod:`repro.vm.pagemap`) with a cache geometry and exposes both a
+sequential interface and a vectorized translate-then-count path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caches.base import CacheGeometry, ReplacementPolicy
+from repro.caches.setassoc import SetAssociativeCache
+from repro.caches.vectorized import miss_mask_set_associative
+from repro.vm.pagemap import PageMapper
+
+
+class PhysicallyIndexedCache:
+    """A cache indexed by physical addresses produced by a page mapper."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        mapper: PageMapper,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+    ):
+        self.geometry = geometry
+        self.mapper = mapper
+        self._cache = SetAssociativeCache(geometry, policy)
+
+    @property
+    def stats(self):
+        """Access statistics of the underlying cache."""
+        return self._cache.stats
+
+    def access(self, virtual_address: int) -> bool:
+        """Translate and reference one virtual byte address."""
+        physical = self.mapper.translate(virtual_address)
+        return self._cache.access(physical)
+
+    def count_misses(self, virtual_addresses: np.ndarray) -> int:
+        """Vectorized miss count over a virtual address column."""
+        physical = self.mapper.translate_many(virtual_addresses)
+        lines = physical >> np.uint64(self.geometry.offset_bits)
+        mask = miss_mask_set_associative(
+            lines, self.geometry.n_sets, self.geometry.associativity
+        )
+        return int(mask.sum())

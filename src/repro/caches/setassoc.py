@@ -1,0 +1,112 @@
+"""Sequential set-associative cache simulator.
+
+Models a single cache level one reference at a time, with LRU, FIFO or
+random replacement.  This is the reference implementation the vectorized
+miss counters are validated against, and the building block of the
+physically-indexed and multi-level simulators.
+"""
+
+from __future__ import annotations
+
+from repro._util.lru import LruSet
+from repro._util.rng import make_rng
+from repro.caches.base import CacheGeometry, CacheStats, ReplacementPolicy
+
+
+class SetAssociativeCache:
+    """A set-associative cache with selectable replacement policy.
+
+    The simulator tracks tags only (cached data is irrelevant to hit/miss
+    behaviour).  Addresses are byte addresses; use :meth:`access_line`
+    when the caller already works in line numbers.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        seed: int | None = None,
+    ):
+        self.geometry = geometry
+        self.policy = policy
+        self.stats = CacheStats()
+        self._index_mask = geometry.n_sets - 1
+        self._index_bits = geometry.index_bits
+        self._offset_bits = geometry.offset_bits
+        self._ways = geometry.ways
+        self._sets: list = [LruSet(self._ways) for _ in range(geometry.n_sets)]
+        self._rng = make_rng(seed) if policy is ReplacementPolicy.RANDOM else None
+
+    # -- accesses -------------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Reference a byte address; return ``True`` on a hit."""
+        return self.access_line(address >> self._offset_bits)
+
+    def access_line(self, line: int) -> bool:
+        """Reference a line number; return ``True`` on a hit."""
+        self.stats.accesses += 1
+        cache_set: LruSet = self._sets[line & self._index_mask]
+        tag = line >> self._index_bits
+        if tag in cache_set:
+            if self.policy is ReplacementPolicy.LRU:
+                cache_set.touch(tag)  # refresh recency
+            return True
+        self.stats.misses += 1
+        self._fill(cache_set, tag)
+        return False
+
+    def _fill(self, cache_set: LruSet, tag: int) -> int | None:
+        """Insert ``tag`` into ``cache_set``; return the evicted tag."""
+        if self.policy is ReplacementPolicy.RANDOM and len(cache_set) >= self._ways:
+            victims = list(cache_set)
+            victim = victims[int(self._rng.integers(0, len(victims)))]
+            cache_set.discard(victim)
+            cache_set.touch(tag)
+            self.stats.evictions += 1
+            return victim
+        victim = cache_set.touch(tag)
+        if victim is not None:
+            self.stats.evictions += 1
+        return victim
+
+    # -- inspection and side-channel fills --------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no side effects)."""
+        return self.contains_line(address >> self._offset_bits)
+
+    def contains_line(self, line: int) -> bool:
+        """Whether ``line`` is resident (no side effects)."""
+        tag = line >> self._index_bits
+        return tag in self._sets[line & self._index_mask]
+
+    def install_line(self, line: int) -> int | None:
+        """Force ``line`` resident without counting an access.
+
+        Used by the prefetch mechanisms (prefetched lines are installed
+        without being demand accesses).  Returns the evicted line number,
+        or ``None`` if nothing was displaced.
+        """
+        set_index = line & self._index_mask
+        cache_set: LruSet = self._sets[set_index]
+        tag = line >> self._index_bits
+        if tag in cache_set:
+            return None
+        victim_tag = self._fill(cache_set, tag)
+        if victim_tag is None:
+            return None
+        return (victim_tag << self._index_bits) | set_index
+
+    def invalidate_all(self) -> None:
+        """Empty the cache (statistics are preserved)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> list[int]:
+        """All resident line numbers (ordering unspecified)."""
+        lines = []
+        for set_index, cache_set in enumerate(self._sets):
+            for tag in cache_set:
+                lines.append((tag << self._index_bits) | set_index)
+        return lines

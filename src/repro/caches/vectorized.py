@@ -1,0 +1,192 @@
+"""Vectorized cache miss counting over numpy address columns.
+
+The design-space sweeps in the paper (Figures 1, 3, 4 and the line-size
+and bandwidth studies) need miss counts for hundreds of cache
+configurations over multi-million-reference traces.  These functions
+compute per-reference miss masks without simulating cache state one
+Python object at a time:
+
+* direct-mapped: a reference hits iff the previous reference to the same
+  set carried the same tag — computable with one stable sort.
+* set-associative LRU: a tight per-set dictionary loop (Python, but over
+  run-length-encoded line streams this is small).
+* fully-associative LRU: exact LRU stack distances via a Fenwick tree,
+  which yields the miss mask for *every* capacity at once.
+
+All functions take *line numbers* (byte address >> log2(line_size)); use
+:meth:`repro.trace.Trace.line_addresses` or :func:`repro.trace.to_line_runs`
+to produce them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bitops import ilog2
+from repro._util.validate import check_power_of_two
+
+
+def miss_mask_direct_mapped(lines: np.ndarray, n_sets: int) -> np.ndarray:
+    """Per-reference miss mask of a direct-mapped cache with ``n_sets`` sets.
+
+    A direct-mapped set holds exactly one line, so a reference hits iff
+    the immediately preceding reference to its set had the same tag.
+    Grouping references by set with a stable sort makes that a purely
+    vectorized comparison.
+    """
+    check_power_of_two("n_sets", n_sets)
+    lines = np.asarray(lines, dtype=np.uint64)
+    n = len(lines)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    sets = lines & np.uint64(n_sets - 1)
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_lines = lines[order]
+    miss_sorted = np.ones(n, dtype=bool)
+    same = (sorted_sets[1:] == sorted_sets[:-1]) & (
+        sorted_lines[1:] == sorted_lines[:-1]
+    )
+    miss_sorted[1:] = ~same
+    miss = np.empty(n, dtype=bool)
+    miss[order] = miss_sorted
+    return miss
+
+
+def miss_mask_set_associative(
+    lines: np.ndarray, n_sets: int, associativity: int
+) -> np.ndarray:
+    """Per-reference miss mask of an LRU set-associative cache.
+
+    ``associativity == 0`` means fully associative with capacity
+    ``n_sets`` lines (delegated to the exact stack-distance computation).
+    """
+    if associativity == 0:
+        return miss_mask_fully_associative(lines, n_sets)
+    if associativity == 1:
+        return miss_mask_direct_mapped(lines, n_sets)
+    check_power_of_two("n_sets", n_sets)
+    lines = np.asarray(lines, dtype=np.uint64)
+    n = len(lines)
+    miss = np.ones(n, dtype=bool)
+    mask = n_sets - 1
+    sets_state: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+    line_list = lines.tolist()
+    for i, line in enumerate(line_list):
+        cache_set = sets_state[line & mask]
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = None
+            miss[i] = False
+        else:
+            if len(cache_set) >= associativity:
+                del cache_set[next(iter(cache_set))]
+            cache_set[line] = None
+    return miss
+
+
+def miss_mask_fully_associative(
+    lines: np.ndarray, capacity_lines: int
+) -> np.ndarray:
+    """Per-reference miss mask of a fully-associative LRU cache.
+
+    Computed from exact LRU stack distances: a reference misses iff the
+    number of distinct lines touched since its previous occurrence is at
+    least ``capacity_lines`` (infinite for first touches).
+    """
+    distances = lru_stack_distances(lines)
+    return (distances < 0) | (distances >= capacity_lines)
+
+
+def lru_stack_distances(lines: np.ndarray) -> np.ndarray:
+    """Exact LRU stack distance of every reference.
+
+    Returns ``-1`` for first touches (infinite distance).  Uses the
+    classic Fenwick-tree formulation: maintain a 0/1 array over trace
+    positions marking the *most recent* occurrence of each distinct
+    line; the stack distance of a reference is the count of marks after
+    its line's previous occurrence.
+    """
+    lines = np.asarray(lines, dtype=np.uint64)
+    n = len(lines)
+    distances = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return distances
+    tree = [0] * (n + 1)
+
+    def bit_add(i: int, delta: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def bit_sum(i: int) -> int:
+        # Sum of positions [0, i]
+        i += 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    last_pos: dict[int, int] = {}
+    line_list = lines.tolist()
+    for i, line in enumerate(line_list):
+        prev = last_pos.get(line)
+        if prev is not None:
+            # Distinct lines touched strictly after prev and before i.
+            distances[i] = bit_sum(i - 1) - bit_sum(prev)
+            bit_add(prev, -1)
+        bit_add(i, 1)
+        last_pos[line] = i
+    return distances
+
+
+def compulsory_mask(lines: np.ndarray) -> np.ndarray:
+    """Mask of first-touch (compulsory-miss) references."""
+    lines = np.asarray(lines, dtype=np.uint64)
+    n = len(lines)
+    mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return mask
+    _, first_indices = np.unique(lines, return_index=True)
+    mask[first_indices] = True
+    return mask
+
+
+def count_misses(
+    lines: np.ndarray,
+    size_bytes: int,
+    line_size: int,
+    associativity: int = 1,
+) -> int:
+    """Total misses of a cache described by size/line/ways over ``lines``.
+
+    ``lines`` must already be at ``line_size`` granularity.  Convenience
+    wrapper used by the sweep engine.
+    """
+    check_power_of_two("size_bytes", size_bytes)
+    check_power_of_two("line_size", line_size)
+    n_lines = size_bytes // line_size
+    if associativity == 0:
+        return int(miss_mask_fully_associative(lines, n_lines).sum())
+    n_sets = n_lines // associativity
+    if n_sets == 0:
+        raise ValueError(
+            f"cache of {n_lines} lines cannot be {associativity}-way associative"
+        )
+    return int(miss_mask_set_associative(lines, n_sets, associativity).sum())
+
+
+def rescale_lines(lines: np.ndarray, from_line_size: int, to_line_size: int) -> np.ndarray:
+    """Convert line numbers between line-size granularities.
+
+    Only coarsening (``to_line_size >= from_line_size``) is supported:
+    information below ``from_line_size`` granularity is gone.
+    """
+    if to_line_size < from_line_size:
+        raise ValueError(
+            f"cannot refine line granularity from {from_line_size} to {to_line_size}"
+        )
+    shift = ilog2(to_line_size) - ilog2(from_line_size)
+    return np.asarray(lines, dtype=np.uint64) >> np.uint64(shift)

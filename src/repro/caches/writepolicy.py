@@ -1,0 +1,132 @@
+"""Write-policy D-cache models: write-through vs write-back.
+
+The paper's measurement platform used write-through caches with a write
+buffer (hence Table 1's separate "write" CPI column).  By the time the
+paper appeared, on-chip D-caches were moving to write-back.  This
+module provides both policies over the same reference stream so the
+data side of the machine model can be studied — an infrastructure
+extension used by the write-policy ablation tests.
+
+* **Write-through, no-allocate** (the R2000 model): loads allocate;
+  stores update on hit and go to memory either way; every store costs a
+  memory write (the write buffer absorbs or exposes the latency —
+  modelled separately in :mod:`repro.monitor.hwcounters`).
+* **Write-back, write-allocate**: loads and stores allocate; stores
+  dirty the line; evicting a dirty line costs a memory writeback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._util.lru import LruSet
+from repro.caches.base import CacheGeometry
+
+
+class WritePolicy(enum.Enum):
+    """D-cache write handling."""
+
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+
+
+@dataclass
+class DataCacheStats:
+    """Traffic accounting for a data cache."""
+
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    store_misses: int = 0
+    memory_writes: int = 0
+    writebacks: int = 0
+
+    @property
+    def load_miss_ratio(self) -> float:
+        """Load misses per load."""
+        if self.loads == 0:
+            return 0.0
+        return self.load_misses / self.loads
+
+    @property
+    def memory_write_traffic(self) -> int:
+        """Total writes reaching memory (stores or writebacks)."""
+        return self.memory_writes + self.writebacks
+
+
+class DataCache:
+    """A set-associative LRU data cache with a selectable write policy."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: WritePolicy = WritePolicy.WRITE_THROUGH,
+    ):
+        self.geometry = geometry
+        self.policy = policy
+        self.stats = DataCacheStats()
+        self._sets = [LruSet(geometry.ways) for _ in range(geometry.n_sets)]
+        self._dirty: set[int] = set()
+        self._index_mask = geometry.n_sets - 1
+        self._index_bits = geometry.index_bits
+        self._offset_bits = geometry.offset_bits
+
+    def _locate(self, address: int) -> tuple[LruSet, int, int]:
+        line = address >> self._offset_bits
+        cache_set = self._sets[line & self._index_mask]
+        tag = line >> self._index_bits
+        return cache_set, tag, line
+
+    def load(self, address: int) -> bool:
+        """A load; returns ``True`` on hit.  Misses allocate."""
+        self.stats.loads += 1
+        cache_set, tag, line = self._locate(address)
+        if tag in cache_set:
+            cache_set.touch(tag)
+            return True
+        self.stats.load_misses += 1
+        self._fill(cache_set, tag, line, dirty=False)
+        return False
+
+    def store(self, address: int) -> bool:
+        """A store; returns ``True`` on hit.
+
+        Write-through: no allocation on miss; memory is written always.
+        Write-back: allocates on miss and dirties the line.
+        """
+        self.stats.stores += 1
+        cache_set, tag, line = self._locate(address)
+        hit = tag in cache_set
+        if self.policy is WritePolicy.WRITE_THROUGH:
+            self.stats.memory_writes += 1
+            if hit:
+                cache_set.touch(tag)
+            else:
+                self.stats.store_misses += 1
+            return hit
+        # Write-back, write-allocate.
+        if hit:
+            cache_set.touch(tag)
+        else:
+            self.stats.store_misses += 1
+            self._fill(cache_set, tag, line, dirty=False)
+        self._dirty.add(line)
+        return hit
+
+    def _fill(self, cache_set: LruSet, tag: int, line: int, dirty: bool) -> None:
+        victim_tag = cache_set.touch(tag)
+        if victim_tag is not None:
+            victim_line = (victim_tag << self._index_bits) | (
+                line & self._index_mask
+            )
+            if victim_line in self._dirty:
+                self._dirty.discard(victim_line)
+                self.stats.writebacks += 1
+        if dirty:
+            self._dirty.add(line)
+
+    @property
+    def dirty_lines(self) -> int:
+        """Number of resident dirty lines."""
+        return len(self._dirty)

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — workloads, suites and experiments available.
+* ``experiment NAME`` — run one paper table/figure (or extension study)
+  and print its rendering.
+* ``report`` — run everything (the ``tools/make_report.py`` behaviour).
+* ``trace NAME`` — synthesize a workload trace and archive it to disk.
+* ``evaluate NAME`` — one workload against a named configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import MemorySystemConfig
+from repro.core.study import MECHANISMS, evaluate
+from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from repro.experiments.common import ExperimentSettings
+from repro.trace.io import save_trace
+from repro.workloads.registry import (
+    get_workload,
+    list_workloads,
+    suite_names,
+)
+from repro.workloads.generator import synthesize_trace
+
+
+def _settings(args) -> ExperimentSettings:
+    return ExperimentSettings(n_instructions=args.instructions, seed=args.seed)
+
+
+def _cmd_list(args) -> int:
+    print("workloads (name, os):")
+    for name, os_name in list_workloads():
+        print(f"  {name:12s} {os_name}")
+    print("\nsuites:", ", ".join(suite_names()))
+    print("\npaper experiments:", ", ".join(ALL_EXPERIMENTS))
+    print("extension studies:", ", ".join(EXTENSION_EXPERIMENTS))
+    print("fetch mechanisms:", ", ".join(MECHANISMS))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    module = registry.get(args.name)
+    if module is None:
+        print(
+            f"unknown experiment {args.name!r}; available: "
+            f"{', '.join(registry)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = module.run(_settings(args))
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    settings = _settings(args)
+    registry = dict(ALL_EXPERIMENTS)
+    if args.extensions:
+        registry.update(EXTENSION_EXPERIMENTS)
+    for name, module in registry.items():
+        print(module.run(settings).render())
+        print()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    workload = get_workload(args.name, args.os)
+    trace = synthesize_trace(workload, args.instructions, seed=args.seed)
+    path = args.out or f"{args.name}-{args.os}.trace.npz"
+    save_trace(trace, path)
+    print(
+        f"wrote {path}: {len(trace):,} references, "
+        f"{trace.instruction_count:,} instructions"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    config = (
+        MemorySystemConfig.economy()
+        if args.config == "economy"
+        else MemorySystemConfig.high_performance()
+    )
+    result = evaluate(
+        args.name,
+        args.os,
+        config,
+        mechanism=args.mechanism,
+        n_instructions=args.instructions,
+        seed=args.seed,
+    )
+    print(f"{args.name}@{args.os} on {config.name} ({config.describe()})")
+    print(f"  mechanism: {args.mechanism}")
+    print(f"  MPI: {100 * result.l1.mpi:.2f} per 100 instructions")
+    print(f"  CPIinstr: {result.cpi_instr:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Instruction Fetching: Coping with "
+        "Code Bloat' (ISCA 1995)",
+    )
+    parser.add_argument("--instructions", type=int, default=400_000)
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, suites and experiments")
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("name")
+
+    p_report = sub.add_parser("report", help="run every paper experiment")
+    p_report.add_argument(
+        "--extensions", action="store_true",
+        help="also run the extension studies",
+    )
+
+    p_trace = sub.add_parser("trace", help="synthesize and archive a trace")
+    p_trace.add_argument("name")
+    p_trace.add_argument("--os", default="mach3")
+    p_trace.add_argument("--out")
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one workload")
+    p_eval.add_argument("name")
+    p_eval.add_argument("--os", default="mach3")
+    p_eval.add_argument("--config", choices=["economy", "high-performance"],
+                        default="economy")
+    p_eval.add_argument("--mechanism", choices=list(MECHANISMS),
+                        default="demand")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "trace": _cmd_trace,
+        "evaluate": _cmd_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's analysis framework: configurations, metrics, CPI model.
+
+This is the library's primary public surface.  A typical study:
+
+>>> from repro.core import MemorySystemConfig, evaluate
+>>> from repro.fetch import ECONOMY_MEMORY
+>>> config = MemorySystemConfig.economy()
+>>> result = evaluate("groff", "mach3", config)
+>>> round(result.cpi_instr, 2)  # doctest: +SKIP
+1.9
+
+mirrors the paper's flow: pick a workload, pick a memory-system
+configuration, read off the instruction-fetch CPI contribution.
+"""
+
+from repro.core.config import MemorySystemConfig
+from repro.core.metrics import (
+    MpiMeasurement,
+    measure_mpi,
+    measure_mpi_lines,
+    measure_three_cs,
+    warmup_cut,
+    DEFAULT_WARMUP_FRACTION,
+)
+from repro.core.area import cache_area_rbe, area_per_byte, fits_budget
+from repro.core.cpi import CpiBreakdown, cpi_instr
+from repro.core.multiissue import IssueProjection, project_issue_widths
+from repro.core.study import evaluate, StudyResult
+from repro.core.sweep import sweep, SweepResult
+
+__all__ = [
+    "MemorySystemConfig",
+    "MpiMeasurement",
+    "measure_mpi",
+    "measure_mpi_lines",
+    "measure_three_cs",
+    "warmup_cut",
+    "DEFAULT_WARMUP_FRACTION",
+    "CpiBreakdown",
+    "cpi_instr",
+    "cache_area_rbe",
+    "area_per_byte",
+    "fits_budget",
+    "evaluate",
+    "StudyResult",
+    "IssueProjection",
+    "project_issue_widths",
+    "sweep",
+    "SweepResult",
+]

@@ -1,0 +1,77 @@
+"""The cycles-per-instruction performance model.
+
+The paper's Section 3:
+
+    ``CPI = CPIinstr + CPIother``
+
+    "where CPIinstr is the performance lost to instruction-cache misses
+    and CPIother is determined by the instruction-issue rate and all
+    other sources of processor stalls, such [as] D-cache misses, TLB
+    misses, CPU pipeline interlocks and issue constraints.  The I-cache
+    component can be further factored into CPIinstr = MPI x CPM."
+
+:class:`CpiBreakdown` carries the full component decomposition used by
+Tables 1 and 3 (I-cache, D-cache, TLB, write buffer); the Section 5
+experiments use only the instruction components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def cpi_instr(mpi: float, cycles_per_miss: float) -> float:
+    """``CPIinstr = MPI x CPM`` — the paper's factored model."""
+    if mpi < 0:
+        raise ValueError(f"mpi must be >= 0, got {mpi}")
+    if cycles_per_miss < 0:
+        raise ValueError(f"cycles_per_miss must be >= 0, got {cycles_per_miss}")
+    return mpi * cycles_per_miss
+
+
+@dataclass(frozen=True)
+class CpiBreakdown:
+    """A memory-CPI decomposition (the paper's Tables 1 and 3 columns).
+
+    Attributes:
+        instr_l1: CPI lost to L1 I-cache misses.
+        instr_l2: CPI lost to L2 misses on the instruction side.
+        data: CPI lost to D-cache misses.
+        write: CPI lost to write-buffer stalls (the DECstation's
+            write-through caches make this a separate component).
+        tlb: CPI lost to TLB refills.
+        base: the no-stall CPI (1.0 for the single-issue R2000).
+    """
+
+    instr_l1: float = 0.0
+    instr_l2: float = 0.0
+    data: float = 0.0
+    write: float = 0.0
+    tlb: float = 0.0
+    base: float = 1.0
+
+    @property
+    def cpi_instr(self) -> float:
+        """Total instruction-fetch CPI contribution (L1 + L2)."""
+        return self.instr_l1 + self.instr_l2
+
+    @property
+    def memory_cpi(self) -> float:
+        """Total memory-system CPI (everything except the base)."""
+        return self.cpi_instr + self.data + self.write + self.tlb
+
+    @property
+    def total(self) -> float:
+        """Total CPI."""
+        return self.base + self.memory_cpi
+
+    def scaled(self, factor: float) -> "CpiBreakdown":
+        """All memory components scaled by ``factor`` (base unchanged)."""
+        return CpiBreakdown(
+            instr_l1=self.instr_l1 * factor,
+            instr_l2=self.instr_l2 * factor,
+            data=self.data * factor,
+            write=self.write * factor,
+            tlb=self.tlb * factor,
+            base=self.base,
+        )

@@ -1,0 +1,84 @@
+"""Multi-issue performance projection.
+
+The paper's closing argument (Section 5's summary and the conclusion):
+
+    "While this [0.18] an acceptable level of I-cache performance for a
+    single-issue machine, dual- or quad-issue machines with a minimum
+    CPI of 0.50 and 0.25, respectively, will spend a considerable
+    amount of time stalling on I-cache misses."
+
+This module quantifies that projection: given an instruction-fetch CPI
+contribution (which does not shrink with issue width — the misses are
+the same), compute the fraction of execution time a machine of each
+issue width spends stalled on instruction fetch, and its achieved IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.validate import check_positive
+
+
+@dataclass(frozen=True)
+class IssueProjection:
+    """Projected performance of one issue width.
+
+    Attributes:
+        issue_width: instructions issued per cycle at best.
+        base_cpi: 1 / issue_width.
+        cpi_instr: the instruction-fetch stall contribution.
+    """
+
+    issue_width: int
+    cpi_instr: float
+    other_cpi: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("issue_width", self.issue_width)
+        if self.cpi_instr < 0 or self.other_cpi < 0:
+            raise ValueError("CPI contributions must be non-negative")
+
+    @property
+    def base_cpi(self) -> float:
+        """The no-stall CPI of this issue width."""
+        return 1.0 / self.issue_width
+
+    @property
+    def total_cpi(self) -> float:
+        """Achieved CPI including fetch stalls."""
+        return self.base_cpi + self.cpi_instr + self.other_cpi
+
+    @property
+    def ipc(self) -> float:
+        """Achieved instructions per cycle."""
+        return 1.0 / self.total_cpi
+
+    @property
+    def fetch_stall_fraction(self) -> float:
+        """Fraction of execution time lost to instruction fetch."""
+        return self.cpi_instr / self.total_cpi
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved IPC as a fraction of the ideal issue width."""
+        return self.ipc / self.issue_width
+
+
+def project_issue_widths(
+    cpi_instr: float,
+    widths: tuple[int, ...] = (1, 2, 4),
+    other_cpi: float = 0.0,
+) -> list[IssueProjection]:
+    """The paper's dual/quad-issue argument, as numbers.
+
+    Args:
+        cpi_instr: instruction-fetch CPI contribution (e.g. the 0.18
+            floor the optimized high-performance IBS system retains).
+        widths: issue widths to project.
+        other_cpi: optional additional stall contributions.
+    """
+    return [
+        IssueProjection(issue_width=w, cpi_instr=cpi_instr, other_cpi=other_cpi)
+        for w in widths
+    ]

@@ -1,0 +1,143 @@
+"""High-level evaluation entry point.
+
+:func:`evaluate` runs one workload against one memory-system
+configuration and returns the instruction-fetch CPI breakdown, following
+the paper's methodology exactly:
+
+* the L1 contribution comes from a fetch-engine simulation of the L1
+  backed by a perfect next level (choose the mechanism with
+  ``mechanism=``);
+* the L2 contribution comes from simulating the L2 against the full
+  reference stream, backed by main memory ("L2 contribution is
+  determined by simulating an L2 cache backed by main memory");
+* ``CPIinstr`` is their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MemorySystemConfig
+from repro.core.metrics import DEFAULT_WARMUP_FRACTION, measure_mpi
+from repro.fetch.bypass import PrefetchBypassEngine
+from repro.fetch.engine import DemandFetchEngine, FetchEngine, FetchResult
+from repro.fetch.markov import MarkovPrefetchEngine
+from repro.fetch.prefetch import PrefetchOnMissEngine
+from repro.fetch.streambuf import StreamBufferEngine
+from repro.fetch.victim import VictimCacheEngine
+from repro.trace.rle import to_line_runs
+from repro.trace.trace import Trace
+from repro.workloads.registry import DEFAULT_TRACE_INSTRUCTIONS, get_trace
+
+#: Mechanism names accepted by :func:`evaluate`.
+MECHANISMS = (
+    "demand",
+    "prefetch",
+    "prefetch+bypass",
+    "stream-buffer",
+    "victim",
+    "markov",
+)
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Instruction-fetch performance of one (workload, config) pair.
+
+    Attributes:
+        workload: workload label.
+        config: the evaluated configuration.
+        mechanism: the L1 refill mechanism simulated.
+        l1: fetch-engine result for the L1 (stalls, misses).
+        cpi_l1: L1 contribution to CPIinstr.
+        cpi_l2: L2 contribution to CPIinstr (0 without an L2).
+        l2_mpi: L2 misses per instruction (0 without an L2).
+    """
+
+    workload: str
+    config: MemorySystemConfig
+    mechanism: str
+    l1: FetchResult
+    cpi_l1: float
+    cpi_l2: float
+    l2_mpi: float
+
+    @property
+    def cpi_instr(self) -> float:
+        """Total instruction-fetch CPI (L1 + L2 contributions)."""
+        return self.cpi_l1 + self.cpi_l2
+
+
+def make_engine(
+    config: MemorySystemConfig,
+    mechanism: str = "demand",
+    **options,
+) -> FetchEngine:
+    """Construct the fetch engine for a configuration and mechanism.
+
+    ``options`` are mechanism-specific: ``n_prefetch`` for the prefetch
+    mechanisms, ``n_lines``/``refill_on_use``/``move_penalty`` for the
+    stream buffer.
+    """
+    timing = config.effective_l1_interface
+    if mechanism == "demand":
+        return DemandFetchEngine(config.l1, timing, **options)
+    if mechanism == "prefetch":
+        return PrefetchOnMissEngine(config.l1, timing, **options)
+    if mechanism == "prefetch+bypass":
+        return PrefetchBypassEngine(config.l1, timing, **options)
+    if mechanism == "stream-buffer":
+        return StreamBufferEngine(config.l1, timing, **options)
+    if mechanism == "victim":
+        return VictimCacheEngine(config.l1, timing, **options)
+    if mechanism == "markov":
+        return MarkovPrefetchEngine(config.l1, timing, **options)
+    raise ValueError(
+        f"unknown mechanism {mechanism!r}; expected one of {MECHANISMS}"
+    )
+
+
+def evaluate_trace(
+    trace: Trace,
+    config: MemorySystemConfig,
+    mechanism: str = "demand",
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    **options,
+) -> StudyResult:
+    """Evaluate a configuration against an already-synthesized trace."""
+    ifetch = trace.ifetch_addresses()
+    l1_runs = to_line_runs(ifetch, config.l1.line_size)
+    engine = make_engine(config, mechanism, **options)
+    l1_result = engine.run(l1_runs, warmup_fraction)
+
+    cpi_l2 = 0.0
+    l2_mpi = 0.0
+    if config.l2 is not None:
+        l2_runs = to_line_runs(ifetch, min(config.l2.line_size, config.l1.line_size))
+        l2_measure = measure_mpi(l2_runs, config.l2, warmup_fraction)
+        l2_mpi = l2_measure.mpi
+        cpi_l2 = l2_measure.cpi_contribution(config.l2_miss_penalty)
+
+    return StudyResult(
+        workload=trace.label,
+        config=config,
+        mechanism=mechanism,
+        l1=l1_result,
+        cpi_l1=l1_result.cpi_instr,
+        cpi_l2=cpi_l2,
+        l2_mpi=l2_mpi,
+    )
+
+
+def evaluate(
+    workload: str,
+    os_name: str,
+    config: MemorySystemConfig,
+    mechanism: str = "demand",
+    n_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+    seed: int = 0,
+    **options,
+) -> StudyResult:
+    """Synthesize (or reuse) the workload's trace and evaluate it."""
+    trace = get_trace(workload, os_name, n_instructions, seed)
+    return evaluate_trace(trace, config, mechanism, **options)

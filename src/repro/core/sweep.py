@@ -1,0 +1,76 @@
+"""Design-space sweep helper.
+
+Every figure in the paper is a sweep: over L2 line sizes, over
+associativities, over bandwidths, over stream-buffer depths.  This
+module provides the small shared harness: a cartesian sweep over named
+parameter axes, applied to an evaluation function, collected into a
+result table that the report renderers consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The outcome of a parameter sweep.
+
+    Attributes:
+        axes: the swept parameter axes, in order.
+        points: one dict per design point: the axis values plus the
+            evaluation function's outputs.
+    """
+
+    axes: tuple[str, ...]
+    points: tuple[dict, ...]
+
+    def column(self, key: str) -> list:
+        """All values of one output/axis column, in sweep order."""
+        return [point[key] for point in self.points]
+
+    def where(self, **conditions) -> "SweepResult":
+        """The sub-sweep matching all ``axis=value`` conditions."""
+        selected = tuple(
+            point
+            for point in self.points
+            if all(point[k] == v for k, v in conditions.items())
+        )
+        return SweepResult(axes=self.axes, points=selected)
+
+    def best(self, key: str) -> dict:
+        """The design point minimizing ``key``."""
+        if not self.points:
+            raise ValueError("empty sweep has no best point")
+        return min(self.points, key=lambda p: p[key])
+
+
+def sweep(
+    axes: Mapping[str, Sequence],
+    evaluate_point: Callable[..., Mapping | float],
+) -> SweepResult:
+    """Evaluate ``evaluate_point`` over the cartesian product of ``axes``.
+
+    ``evaluate_point`` is called with one keyword argument per axis and
+    may return either a mapping of named outputs or a single float
+    (stored under ``"value"``).  Points where the function raises
+    ``ValueError`` are skipped — the paper's tables mark such
+    infeasible/not-reasonable corners with a dash.
+    """
+    names = tuple(axes)
+    points = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        kwargs = dict(zip(names, values))
+        try:
+            output = evaluate_point(**kwargs)
+        except ValueError:
+            continue
+        point = dict(kwargs)
+        if isinstance(output, Mapping):
+            point.update(output)
+        else:
+            point["value"] = float(output)
+        points.append(point)
+    return SweepResult(axes=names, points=tuple(points))

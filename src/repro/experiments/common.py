@@ -1,0 +1,106 @@
+"""Shared experiment harness.
+
+Each experiment sweeps configurations over workload suites; this module
+provides the common plumbing: settings, cached trace access, and
+suite-averaged evaluation helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MemorySystemConfig
+from repro.core.metrics import DEFAULT_WARMUP_FRACTION
+from repro.core.study import StudyResult, evaluate_trace
+from repro.trace.rle import LineRuns, to_line_runs
+from repro.trace.trace import Trace
+from repro.workloads.registry import (
+    DEFAULT_TRACE_INSTRUCTIONS,
+    get_trace,
+    suite_workloads,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Common knobs shared by every experiment.
+
+    Attributes:
+        n_instructions: trace length per workload.
+        seed: synthesis seed (experiments are deterministic given it).
+        warmup_fraction: measurement warmup window.
+    """
+
+    n_instructions: int = DEFAULT_TRACE_INSTRUCTIONS
+    seed: int = 0
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        """A copy with the trace length scaled (tests use ~0.2)."""
+        return ExperimentSettings(
+            n_instructions=max(10_000, int(self.n_instructions * factor)),
+            seed=self.seed,
+            warmup_fraction=self.warmup_fraction,
+        )
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+def suite_traces(
+    suite: str, settings: ExperimentSettings = DEFAULT_SETTINGS
+) -> list[Trace]:
+    """All traces of a suite (cached by the workload registry)."""
+    return [
+        get_trace(name, os_name, settings.n_instructions, settings.seed)
+        for name, os_name in suite_workloads(suite)
+    ]
+
+
+def suite_runs(
+    suite: str,
+    line_size: int,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> list[LineRuns]:
+    """RLE instruction streams of a whole suite at one line size."""
+    return [
+        to_line_runs(trace.ifetch_addresses(), line_size)
+        for trace in suite_traces(suite, settings)
+    ]
+
+
+def suite_evaluate(
+    suite: str,
+    config: MemorySystemConfig,
+    mechanism: str = "demand",
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    **options,
+) -> list[StudyResult]:
+    """Evaluate a configuration over every workload of a suite."""
+    return [
+        evaluate_trace(
+            trace,
+            config,
+            mechanism,
+            warmup_fraction=settings.warmup_fraction,
+            **options,
+        )
+        for trace in suite_traces(suite, settings)
+    ]
+
+
+def suite_cpi_instr(
+    suite: str,
+    config: MemorySystemConfig,
+    mechanism: str = "demand",
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    **options,
+) -> tuple[float, float]:
+    """Suite-mean (L1 CPIinstr, L2 CPIinstr) for one configuration."""
+    results = suite_evaluate(suite, config, mechanism, settings, **options)
+    return (
+        float(np.mean([r.cpi_l1 for r in results])),
+        float(np.mean([r.cpi_l2 for r in results])),
+    )

@@ -1,0 +1,103 @@
+"""Figure 1 — Capacity and conflict misses in SPEC92 and IBS.
+
+Suite-averaged misses per instruction versus I-cache size (8-256 KB),
+split into capacity and conflict components using the paper's method:
+an 8-way set-associative simulation approximates the conflict-free
+cache; the direct-mapped excess over it is conflict.  (Compulsory
+misses are negligible and invisible on the paper's plot; the
+measurement warmup window plays that role here.)
+
+The paper's reading of this figure: "To achieve approximately the same
+level of performance as the SPEC92 benchmarks in a direct-mapped 8-KB
+I-cache, the IBS workloads require a direct-mapped 64-KB I-cache, or a
+highly-associative 32-KB I-cache."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.fmt import format_table
+from repro.caches.base import CacheGeometry
+from repro.caches.classify import ThreeCsRates
+from repro.core.metrics import measure_three_cs
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    suite_runs,
+)
+
+CACHE_SIZES = tuple(1024 * k for k in (8, 16, 32, 64, 128, 256))
+LINE_SIZE = 32
+SUITES = ("spec92", "ibs-mach3")
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Reproduced Figure 1 (as a table of stacked-bar heights)."""
+
+    curves: dict[str, dict[int, ThreeCsRates]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Suite", "Size", "Capacity/100", "Conflict/100", "Total/100"]
+        body = []
+        for suite, curve in self.curves.items():
+            for size, rates in curve.items():
+                body.append(
+                    [
+                        suite,
+                        f"{size // 1024}KB",
+                        f"{100 * rates.capacity:.2f}",
+                        f"{100 * rates.conflict:.2f}",
+                        f"{100 * rates.total:.2f}",
+                    ]
+                )
+        return format_table(
+            headers,
+            body,
+            title="Figure 1: Capacity and conflict misses vs I-cache size "
+            "(direct-mapped, 32 B lines)",
+        )
+
+    def equivalent_ibs_size(self, tolerance: float = 0.15) -> int:
+        """Smallest direct-mapped IBS cache matching SPEC's 8 KB level.
+
+        The paper's headline claim is that this is 64 KB; its wording is
+        "approximately the same level of performance", so a size
+        qualifies when its MPI is within ``tolerance`` of SPEC's 8 KB
+        value.
+        """
+        spec_8kb = self.curves["spec92"][8 * 1024].total
+        ibs_curve = self.curves["ibs-mach3"]
+        for size in sorted(ibs_curve):
+            if ibs_curve[size].total <= spec_8kb * (1.0 + tolerance):
+                return size
+        return max(ibs_curve)
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    cache_sizes: tuple[int, ...] = CACHE_SIZES,
+) -> Figure1Result:
+    """Reproduce Figure 1 for both suites across the size range."""
+    curves: dict[str, dict[int, ThreeCsRates]] = {}
+    for suite in SUITES:
+        all_runs = suite_runs(suite, LINE_SIZE, settings)
+        curve: dict[int, ThreeCsRates] = {}
+        for size in cache_sizes:
+            geometry = CacheGeometry(size, LINE_SIZE, 1)
+            rates = []
+            for runs in all_runs:
+                breakdown, instructions = measure_three_cs(
+                    runs, geometry, settings.warmup_fraction
+                )
+                rates.append(breakdown.per_instruction(instructions))
+            curve[size] = ThreeCsRates(
+                compulsory=float(np.mean([r.compulsory for r in rates])),
+                capacity=float(np.mean([r.capacity for r in rates])),
+                conflict=float(np.mean([r.conflict for r in rates])),
+            )
+        curves[suite] = curve
+    return Figure1Result(curves=curves)

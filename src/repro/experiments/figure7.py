@@ -1,0 +1,130 @@
+"""Figure 7 — Summary of L1 and L2 cache optimizations.
+
+The cumulative-optimization bar chart: starting from each baseline,
+add an 8-way on-chip L2, then successively optimize the L1-L2
+interface — bandwidth, prefetching, bypassing, pipelining.  The paper's
+conclusions this experiment reproduces:
+
+* the associative on-chip L2 is the single largest win (dramatic for
+  the economy system);
+* pipelining (stream buffers) is the largest L1-L2 interface win;
+* after everything, IBS still pays ~0.2 CPIinstr — the "stubborn lower
+  bound" that motivates the paper's title.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.fmt import format_table
+from repro.caches.base import CacheGeometry
+from repro.core.config import MemorySystemConfig
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    suite_cpi_instr,
+)
+from repro.fetch.timing import MemoryTiming
+
+STEPS = (
+    "baseline",
+    "on-chip L2",
+    "bandwidth",
+    "prefetching",
+    "bypassing",
+    "pipelining",
+)
+
+CONFIG_NAMES = ("economy", "high-performance")
+
+#: The optimized on-chip L2 arrived at in Figures 3-4.
+L2_GEOMETRY = CacheGeometry(64 * 1024, 64, 8)
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Reproduced Figure 7."""
+
+    # (config, step) -> (L1 CPIinstr, L2 CPIinstr)
+    cells: dict[tuple[str, str], tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def render(self) -> str:
+        headers = ["Step", "L1 CPI", "L2 CPI", "Total"]
+        blocks = []
+        for config_name in CONFIG_NAMES:
+            body = []
+            for step in STEPS:
+                l1, l2 = self.cells[(config_name, step)]
+                body.append(
+                    [step, f"{l1:.3f}", f"{l2:.3f}", f"{l1 + l2:.3f}"]
+                )
+            blocks.append(
+                format_table(
+                    headers,
+                    body,
+                    title=f"Figure 7 ({config_name}): cumulative "
+                    "instruction-fetch optimizations",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def total(self, config_name: str, step: str) -> float:
+        """Total CPIinstr at one step."""
+        l1, l2 = self.cells[(config_name, step)]
+        return l1 + l2
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    suite: str = "ibs-mach3",
+) -> Figure7Result:
+    """Reproduce Figure 7's cumulative-optimization ladder."""
+    bases = {
+        "economy": MemorySystemConfig.economy(),
+        "high-performance": MemorySystemConfig.high_performance(),
+    }
+    cells: dict[tuple[str, str], tuple[float, float]] = {}
+    for config_name, base in bases.items():
+        # Step 1: baseline — L1 straight to memory.
+        cells[(config_name, "baseline")] = suite_cpi_instr(
+            suite, base, "demand", settings
+        )
+
+        # Step 2: add the 8-way on-chip L2 (16 B/cyc interface).
+        with_l2 = base.with_l2(L2_GEOMETRY)
+        cells[(config_name, "on-chip L2")] = suite_cpi_instr(
+            suite, with_l2, "demand", settings
+        )
+
+        # Step 3: double the L1-L2 bandwidth to 32 B/cyc.
+        fast_iface = MemoryTiming(latency=6, bytes_per_cycle=32)
+        fast = with_l2.with_l1_interface(fast_iface)
+        cells[(config_name, "bandwidth")] = suite_cpi_instr(
+            suite, fast, "demand", settings
+        )
+
+        # Step 4: sequential prefetch-on-miss (1 line).
+        cells[(config_name, "prefetching")] = suite_cpi_instr(
+            suite, fast, "prefetch", settings, n_prefetch=1
+        )
+
+        # Step 5: add bypass buffers.
+        cells[(config_name, "bypassing")] = suite_cpi_instr(
+            suite, fast, "prefetch+bypass", settings, n_prefetch=1
+        )
+
+        # Step 6: pipelined interface with a 6-line stream buffer
+        # (line size = transfer size).
+        pipelined = MemorySystemConfig(
+            name=f"{config_name}-pipelined",
+            l1=CacheGeometry(8192, 32, 1),
+            memory=base.memory,
+            l2=L2_GEOMETRY,
+            l1_interface=MemoryTiming(latency=6, bytes_per_cycle=32),
+        )
+        cells[(config_name, "pipelining")] = suite_cpi_instr(
+            suite, pipelined, "stream-buffer", settings, n_lines=6
+        )
+    return Figure7Result(cells=cells)

@@ -1,0 +1,133 @@
+"""Table 4 — Detailed I-cache performance of the IBS workloads.
+
+Per-workload misses per instruction in the reference cache (8 KB,
+direct-mapped, 32-byte lines) and the execution-time fraction spent in
+each workload component (user task, Mach kernel, BSD server, X server),
+plus the suite averages under Mach 3.0, Ultrix 3.1 and for SPEC92.
+
+This is the calibration anchor of the whole reproduction: the workload
+models were tuned so these MPI values match the paper (see
+``tools/calibrate.py``), and this experiment verifies they still do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.fmt import format_table
+from repro.caches.base import CacheGeometry
+from repro.core.metrics import measure_mpi
+from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
+from repro.trace.record import Component
+from repro.trace.rle import to_line_runs
+from repro.trace.stats import component_mix
+from repro.workloads.ibs import IBS_WORKLOADS
+from repro.workloads.registry import get_trace, suite_workloads
+
+#: The reference cache of Table 4.
+REFERENCE_CACHE = CacheGeometry(size_bytes=8192, line_size=32, associativity=1)
+
+#: Paper values: workload -> (MPI per 100, user%, kernel%, bsd%, x%).
+PAPER_WORKLOADS = {
+    "mpeg_play": (4.28, 0.40, 0.23, 0.30, 0.07),
+    "jpeg_play": (2.39, 0.67, 0.13, 0.17, 0.03),
+    "gs": (5.15, 0.47, 0.34, 0.10, 0.09),
+    "verilog": (5.28, 0.75, 0.14, 0.11, 0.00),
+    "gcc": (4.69, 0.75, 0.17, 0.08, 0.00),
+    "sdet": (6.05, 0.10, 0.70, 0.20, 0.00),
+    "nroff": (3.99, 0.80, 0.05, 0.15, 0.00),
+    "groff": (6.51, 0.82, 0.13, 0.05, 0.00),
+}
+
+#: Paper suite averages (MPI per 100 instructions).
+PAPER_AVERAGES = {
+    "ibs-mach3": 4.79,
+    "ibs-ultrix": 3.52,
+    "spec92": 1.10,
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One workload's measurement."""
+
+    mpi_per_100: float
+    components: dict[Component, float]
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Reproduced Table 4."""
+
+    workloads: dict[str, Table4Row] = field(default_factory=dict)
+    averages: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = [
+            "Workload", "MPI/100", "(paper)", "User", "Kernel", "BSD", "X",
+        ]
+        body = []
+        for name, row in self.workloads.items():
+            paper_mpi = PAPER_WORKLOADS[name][0]
+            comps = row.components
+            body.append(
+                [
+                    name,
+                    f"{row.mpi_per_100:.2f}",
+                    f"{paper_mpi:.2f}",
+                    f"{comps.get(Component.USER, 0.0):.0%}",
+                    f"{comps.get(Component.KERNEL, 0.0):.0%}",
+                    f"{comps.get(Component.BSD_SERVER, 0.0):.0%}",
+                    f"{comps.get(Component.X_SERVER, 0.0):.0%}",
+                ]
+            )
+        for suite, value in self.averages.items():
+            body.append(
+                [
+                    f"avg {suite}",
+                    f"{value:.2f}",
+                    f"{PAPER_AVERAGES[suite]:.2f}",
+                    "", "", "", "",
+                ]
+            )
+        return format_table(
+            headers,
+            body,
+            title="Table 4: I-cache MPI (8 KB direct-mapped, 32 B lines) "
+            "and component mix",
+        )
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table4Result:
+    """Reproduce Table 4: per-workload MPI under Mach plus suite means."""
+    workloads: dict[str, Table4Row] = {}
+    for name in IBS_WORKLOADS:
+        trace = get_trace(name, "mach3", settings.n_instructions, settings.seed)
+        runs = to_line_runs(trace.ifetch_addresses(), REFERENCE_CACHE.line_size)
+        measurement = measure_mpi(runs, REFERENCE_CACHE, settings.warmup_fraction)
+        workloads[name] = Table4Row(
+            mpi_per_100=measurement.mpi_per_100,
+            components=component_mix(trace),
+        )
+
+    averages: dict[str, float] = {
+        "ibs-mach3": float(
+            np.mean([row.mpi_per_100 for row in workloads.values()])
+        )
+    }
+    for suite in ("ibs-ultrix", "spec92"):
+        values = []
+        for name, os_name in suite_workloads(suite):
+            trace = get_trace(name, os_name, settings.n_instructions, settings.seed)
+            runs = to_line_runs(
+                trace.ifetch_addresses(), REFERENCE_CACHE.line_size
+            )
+            values.append(
+                measure_mpi(
+                    runs, REFERENCE_CACHE, settings.warmup_fraction
+                ).mpi_per_100
+            )
+        averages[suite] = float(np.mean(values))
+    return Table4Result(workloads=workloads, averages=averages)

@@ -1,0 +1,75 @@
+"""Table 5 — CPIinstr of the two baseline configurations.
+
+Both baselines use the 8 KB direct-mapped L1 with 32-byte lines; the
+*economy* configuration refills from main memory (30 cycles to first
+word, 4 bytes/cycle) and the *high-performance* configuration from an
+ideal off-chip cache (12 cycles, 8 bytes/cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.fmt import format_table
+from repro.core.config import MemorySystemConfig
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    suite_cpi_instr,
+)
+
+#: Paper values: (config, suite) -> CPIinstr.
+PAPER = {
+    ("economy", "spec92"): 0.54,
+    ("economy", "ibs-mach3"): 1.77,
+    ("high-performance", "spec92"): 0.18,
+    ("high-performance", "ibs-mach3"): 0.72,
+}
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Reproduced Table 5."""
+
+    cells: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["", "Economy", "High Performance"]
+        body = [
+            [
+                "Latency / bandwidth",
+                "30 cyc, 4 B/cyc",
+                "12 cyc, 8 B/cyc",
+            ],
+            [
+                "CPIinstr (SPEC)",
+                f"{self.cells[('economy', 'spec92')]:.2f}"
+                f"  (paper {PAPER[('economy', 'spec92')]:.2f})",
+                f"{self.cells[('high-performance', 'spec92')]:.2f}"
+                f"  (paper {PAPER[('high-performance', 'spec92')]:.2f})",
+            ],
+            [
+                "CPIinstr (IBS)",
+                f"{self.cells[('economy', 'ibs-mach3')]:.2f}"
+                f"  (paper {PAPER[('economy', 'ibs-mach3')]:.2f})",
+                f"{self.cells[('high-performance', 'ibs-mach3')]:.2f}"
+                f"  (paper {PAPER[('high-performance', 'ibs-mach3')]:.2f})",
+            ],
+        ]
+        return format_table(
+            headers, body, title="Table 5: CPIinstr for base system configurations"
+        )
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table5Result:
+    """Reproduce Table 5: both baselines, both suites."""
+    configs = {
+        "economy": MemorySystemConfig.economy(),
+        "high-performance": MemorySystemConfig.high_performance(),
+    }
+    cells: dict[tuple[str, str], float] = {}
+    for config_name, config in configs.items():
+        for suite in ("spec92", "ibs-mach3"):
+            l1, l2 = suite_cpi_instr(suite, config, "demand", settings)
+            cells[(config_name, suite)] = l1 + l2
+    return Table5Result(cells=cells)

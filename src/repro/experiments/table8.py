@@ -1,0 +1,73 @@
+"""Table 8 — Pipelined memory system with stream buffers.
+
+The L1-L2 interface is pipelined (one request per cycle) and a
+fully-associative stream buffer of N lines prefetches sequentially past
+each miss.  The L1 line size equals the per-cycle transfer size (16 or
+32 bytes).  The paper finds stream buffers effective up to about 6
+lines, with marginal returns beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.fmt import format_series
+from repro.caches.base import CacheGeometry
+from repro.core.config import MemorySystemConfig
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    suite_cpi_instr,
+)
+from repro.fetch.timing import MemoryTiming
+
+#: Paper values: bandwidth (B/cyc) -> {buffer lines -> CPIinstr}.
+PAPER = {
+    16: {0: 0.439, 1: 0.267, 3: 0.184, 6: 0.147, 12: 0.122, 18: 0.114},
+    32: {0: 0.287, 1: 0.186, 3: 0.137, 6: 0.118, 12: 0.103, 18: 0.099},
+}
+
+BUFFER_SIZES = (0, 1, 3, 6, 12, 18)
+BANDWIDTHS = (16, 32)
+
+
+@dataclass(frozen=True)
+class Table8Result:
+    """Reproduced Table 8."""
+
+    cells: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        series = {}
+        for bw in BANDWIDTHS:
+            series[f"{bw} B/cyc"] = [
+                self.cells[(bw, n)] for n in BUFFER_SIZES
+            ]
+            series[f"(paper {bw})"] = [PAPER[bw][n] for n in BUFFER_SIZES]
+        return format_series(
+            "Buffer lines",
+            BUFFER_SIZES,
+            series,
+            title="Table 8: Pipelined system with a stream buffer "
+            "(L1 CPIinstr; line size = bytes/cycle)",
+        )
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    suite: str = "ibs-mach3",
+) -> Table8Result:
+    """Reproduce Table 8 for both interface bandwidths."""
+    cells: dict[tuple[int, int], float] = {}
+    for bw in BANDWIDTHS:
+        config = MemorySystemConfig(
+            name=f"pipelined-{bw}",
+            l1=CacheGeometry(8192, bw, 1),
+            memory=MemoryTiming(latency=6, bytes_per_cycle=bw),
+        )
+        for n_lines in BUFFER_SIZES:
+            l1, _ = suite_cpi_instr(
+                suite, config, "stream-buffer", settings, n_lines=n_lines
+            )
+            cells[(bw, n_lines)] = l1
+    return Table8Result(cells=cells)

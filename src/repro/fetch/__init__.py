@@ -1,0 +1,38 @@
+"""Instruction-fetch timing models and mechanisms.
+
+This subpackage turns miss behaviour into cycles: the latency/bandwidth
+interface model of the paper's Table 5, and the four L1-L2 interface
+mechanisms of Section 5.2 — demand fetch, sequential prefetch-on-miss,
+prefetch with bypass buffers, and a pipelined memory system with stream
+buffers.  All mechanisms are driven by run-length-encoded instruction
+streams and account stall cycles to produce CPIinstr.
+"""
+
+from repro.fetch.timing import MemoryTiming, ECONOMY_MEMORY, HIGH_PERF_MEMORY, L1_L2_INTERFACE
+from repro.fetch.engine import FetchResult, DemandFetchEngine
+from repro.fetch.prefetch import PrefetchOnMissEngine, TaggedPrefetchEngine
+from repro.fetch.bypass import PrefetchBypassEngine
+from repro.fetch.streambuf import StreamBufferEngine
+from repro.fetch.victim import VictimCacheEngine
+from repro.fetch.markov import MarkovPrefetchEngine
+from repro.fetch.twolevel import TwoLevelDemandEngine, TwoLevelResult
+from repro.fetch.branch import BranchTargetBuffer, BranchResult
+
+__all__ = [
+    "MemoryTiming",
+    "ECONOMY_MEMORY",
+    "HIGH_PERF_MEMORY",
+    "L1_L2_INTERFACE",
+    "FetchResult",
+    "DemandFetchEngine",
+    "PrefetchOnMissEngine",
+    "TaggedPrefetchEngine",
+    "PrefetchBypassEngine",
+    "StreamBufferEngine",
+    "VictimCacheEngine",
+    "MarkovPrefetchEngine",
+    "TwoLevelDemandEngine",
+    "TwoLevelResult",
+    "BranchTargetBuffer",
+    "BranchResult",
+]

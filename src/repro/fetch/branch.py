@@ -1,0 +1,145 @@
+"""Branch-target-buffer modelling (the paper's other future-work axis).
+
+    "This study did not consider... the interactions between
+    branch-prediction and instruction-fetching hardware."
+
+A fetch unit must produce the *next* fetch address every cycle; taken
+control transfers break the +4 default and, without prediction, cost
+pipeline bubbles.  This module models the classic mechanism of the
+paper's era: a branch target buffer (BTB) indexed by the fetching PC,
+holding the last observed target with a 2-bit-counter-style hysteresis
+(here: the last target, replaced on second consecutive disagreement).
+
+The model is driven purely by the trace's observed control flow: a
+transition is *taken* when the next fetch is not PC+4.  Mispredictions
+(taken transfer not predicted, or predicted with the wrong target) cost
+``mispredict_penalty`` cycles.  The resulting CPIbranch composes with
+CPIinstr into total instruction-delivery stalls — the combination the
+paper points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.lru import LruSet
+from repro._util.validate import check_positive
+
+
+@dataclass(frozen=True)
+class BranchResult:
+    """Outcome of a BTB simulation over an instruction stream.
+
+    Attributes:
+        transitions: fetch-to-fetch transitions observed.
+        taken: taken (non-sequential) transitions.
+        mispredictions: transitions the fetch unit mispredicted.
+    """
+
+    transitions: int
+    taken: int
+    mispredictions: int
+
+    @property
+    def taken_rate(self) -> float:
+        """Taken transfers per transition."""
+        if self.transitions == 0:
+            return 0.0
+        return self.taken / self.transitions
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per transition."""
+        if self.transitions == 0:
+            return 0.0
+        return self.mispredictions / self.transitions
+
+    def cpi_contribution(self, mispredict_penalty: float) -> float:
+        """CPI lost to fetch redirects."""
+        return self.misprediction_rate * mispredict_penalty
+
+
+class BranchTargetBuffer:
+    """A direct-lookup BTB with 2-bit direction hysteresis.
+
+    Entries map a fetch PC to ``(last target, 2-bit counter)``; capacity
+    is LRU-bounded.  Prediction for each transition:
+
+    * PC in the BTB with counter >= 2: predict the stored target.
+    * otherwise: predict PC+4 (fall-through).
+
+    On a taken transfer the counter saturates up (and the target is
+    corrected); on a fall-through it saturates down, and the entry is
+    dropped at zero.  This is the classic 2-bit scheme, which tolerates
+    the occasional contrary outcome of a biased branch.
+    """
+
+    def __init__(self, n_entries: int = 512):
+        check_positive("n_entries", n_entries)
+        self.n_entries = n_entries
+        self._order = LruSet(n_entries)
+        self._targets: dict[int, list] = {}  # pc -> [target, counter]
+
+    def simulate(self, ifetch_addresses: np.ndarray, skip: int = 0) -> BranchResult:
+        """Run the BTB over an instruction-fetch address stream.
+
+        Args:
+            ifetch_addresses: fetch PCs, in order.
+            skip: leading transitions excluded from counting (warmup).
+        """
+        addresses = np.asarray(ifetch_addresses, dtype=np.uint64).tolist()
+        if len(addresses) < 2:
+            return BranchResult(0, 0, 0)
+        order = self._order
+        targets = self._targets
+        taken = 0
+        mispredictions = 0
+        counted = 0
+        for i in range(len(addresses) - 1):
+            pc = addresses[i]
+            actual = addresses[i + 1]
+            sequential = actual == pc + 4
+            measure = i >= skip
+            if measure:
+                counted += 1
+                if not sequential:
+                    taken += 1
+
+            entry = targets.get(pc)
+            predicted_taken = entry is not None and entry[1] >= 2
+            if entry is not None:
+                order.touch(pc)
+            if sequential:
+                if predicted_taken and measure:
+                    mispredictions += 1
+                if entry is not None:
+                    entry[1] -= 1
+                    if entry[1] <= 0:
+                        order.discard(pc)
+                        del targets[pc]
+            else:
+                if not predicted_taken or entry[0] != actual:
+                    if measure:
+                        mispredictions += 1
+                if entry is None:
+                    self._insert(pc, actual)
+                else:
+                    entry[0] = actual
+                    entry[1] = min(3, entry[1] + 1)
+        return BranchResult(
+            transitions=counted, taken=taken, mispredictions=mispredictions
+        )
+
+    def _insert(self, pc: int, target: int) -> None:
+        victim = self._order.touch(pc)
+        if victim is not None:
+            self._targets.pop(victim, None)
+        # New entries start at 2 ("weakly taken"): predict taken next time.
+        self._targets[pc] = [target, 2]
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held."""
+        return len(self._targets)

@@ -1,0 +1,85 @@
+"""Prefetch with bypass buffers (the paper's Table 7 mechanism).
+
+    "Sequential prefetch-on-miss can be enhanced by placing the missing
+    line into both the cache and into special bypass buffers.  These
+    dual-ported buffers allow the processor to continue execution as
+    soon as the missing word has returned from the L2 cache.  Under
+    this scheme, as the cache refills, the processor may only fetch
+    instructions from the bypass buffers."
+
+Model:
+
+* On a miss at byte offset *o* in the line, the processor stalls only
+  until the word at *o* arrives: ``latency + o // bandwidth`` cycles
+  (the transfer begins at the start of the line).
+* The miss line and the N prefetched lines stream back-to-back into the
+  bypass buffers ("there are as many bypass buffers as lines returned
+  from the memory system") and are installed in the cache.
+* While the refill is still in flight, fetches to bypassed lines
+  proceed once their bytes have arrived; a fetch to any *other* line
+  stalls until the refill completes (the processor may only fetch from
+  the bypass buffers during the refill).
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import FetchEngine
+from repro.fetch.timing import MemoryTiming
+
+
+class PrefetchBypassEngine(FetchEngine):
+    """Sequential prefetch-on-miss with critical-word bypass buffers."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: MemoryTiming,
+        n_prefetch: int = 0,
+    ):
+        super().__init__(geometry, timing)
+        if n_prefetch < 0:
+            raise ValueError(f"n_prefetch must be >= 0, got {n_prefetch}")
+        self.n_prefetch = n_prefetch
+        self._line_beats = max(
+            1, geometry.line_size // timing.bytes_per_cycle
+        )
+        # Completion time of the whole (miss + prefetch) transfer,
+        # relative to the request cycle.
+        self._burst_cycles = timing.fill_penalty(
+            geometry.line_size * (n_prefetch + 1)
+        )
+        # line -> cycle its last byte arrives (current refill burst only)
+        self._buffer_ready: dict[int, int] = {}
+        self._busy_until = -1
+
+    def _access(self, line: int, first_offset: int, now: int) -> tuple[int, bool]:
+        if now <= self._busy_until:
+            ready = self._buffer_ready.get(line)
+            if ready is not None:
+                # Fetching from a bypass buffer; wait if the word has
+                # not arrived yet (conservative: wait for the line).
+                return max(0, ready - now), False
+            # Not in the buffers: the processor must wait out the refill.
+            wait = self._busy_until - now + 1
+            now += wait
+            stall, missed = self._demand(line, first_offset, now)
+            return wait + stall, missed
+        return self._demand(line, first_offset, now)
+
+    def _demand(self, line: int, first_offset: int, now: int) -> tuple[int, bool]:
+        if self.cache.access_line(line):
+            return 0, False
+        timing = self.timing
+        # Resume as soon as the missing word arrives.
+        stall = timing.cycles_until_byte(first_offset)
+        self._buffer_ready = {}
+        for distance in range(self.n_prefetch + 1):
+            arrival = now + timing.fill_penalty(
+                self.geometry.line_size * (distance + 1)
+            )
+            self._buffer_ready[line + distance] = arrival
+            if distance > 0:
+                self.cache.install_line(line + distance)
+        self._busy_until = now + self._burst_cycles
+        return stall, True

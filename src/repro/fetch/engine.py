@@ -1,0 +1,128 @@
+"""The cycle-accounting fetch-engine framework and the demand-fetch model.
+
+A fetch engine walks a run-length-encoded instruction stream against an
+L1 I-cache and accounts stall cycles under some L1-refill mechanism.
+The machine model is the paper's: a single-issue processor that fetches
+one instruction per cycle when it hits, so
+
+    ``CPIinstr = stall cycles / instructions``.
+
+Subclasses implement one mechanism each (demand fetch here; prefetch,
+bypass, and stream buffers in sibling modules) by overriding
+:meth:`FetchEngine._access`.
+
+Warmup handling matches :mod:`repro.core.metrics`: cache and mechanism
+state are simulated from the start of the trace, but stalls and
+instructions are only *counted* after the warmup window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.base import CacheGeometry
+from repro.caches.setassoc import SetAssociativeCache
+from repro.core.metrics import DEFAULT_WARMUP_FRACTION, warmup_cut
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import LineRuns
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of one fetch-engine simulation.
+
+    Attributes:
+        instructions: instructions in the measurement window.
+        stall_cycles: fetch stall cycles in the measurement window.
+        misses: L1 miss count in the measurement window (demand misses
+            only; prefetches are not misses).
+    """
+
+    instructions: int
+    stall_cycles: int
+    misses: int
+
+    @property
+    def cpi_instr(self) -> float:
+        """Instruction-fetch CPI contribution."""
+        if self.instructions == 0:
+            return 0.0
+        return self.stall_cycles / self.instructions
+
+    @property
+    def mpi(self) -> float:
+        """Demand misses per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.misses / self.instructions
+
+
+class FetchEngine:
+    """Base class: L1 cache + refill mechanism + cycle accounting."""
+
+    def __init__(self, geometry: CacheGeometry, timing: MemoryTiming):
+        self.geometry = geometry
+        self.timing = timing
+        self.cache = SetAssociativeCache(geometry)
+
+    def run(
+        self,
+        runs: LineRuns,
+        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    ) -> FetchResult:
+        """Simulate the whole stream; return measurement-window results.
+
+        ``runs`` must be encoded at exactly the engine's L1 line size —
+        the mechanisms reason about line-granular sequentiality, so a
+        mismatched granularity would be a modelling error, not a
+        convenience to paper over.
+        """
+        if runs.line_size != self.geometry.line_size:
+            raise ValueError(
+                f"stream encoded at {runs.line_size} B lines cannot drive "
+                f"an engine with {self.geometry.line_size} B lines; "
+                "re-encode with to_line_runs()"
+            )
+        cut, instructions = warmup_cut(runs, warmup_fraction)
+        lines = runs.lines.tolist()
+        counts = runs.counts.tolist()
+        offsets = runs.first_offsets.tolist()
+
+        now = 0  # cycles since start of trace
+        stalls = 0
+        misses = 0
+        access = self._access
+        for i, line in enumerate(lines):
+            stall, missed = access(line, offsets[i], now)
+            now += stall + counts[i]
+            if i >= cut:
+                stalls += stall
+                misses += 1 if missed else 0
+        return FetchResult(
+            instructions=instructions, stall_cycles=stalls, misses=misses
+        )
+
+    def _access(self, line: int, first_offset: int, now: int) -> tuple[int, bool]:
+        """Handle the first fetch of a run; return ``(stall, missed)``.
+
+        Subsequent fetches of the run hit by construction (same line).
+        """
+        raise NotImplementedError
+
+
+class DemandFetchEngine(FetchEngine):
+    """Plain demand fetching: stall for the full line refill on a miss.
+
+    This is the execution model of the paper's Figure 6 ("the processor
+    must wait for the entire cache line to refill before it resumes
+    execution"), and the model behind the Table 5 baselines.
+    """
+
+    def __init__(self, geometry: CacheGeometry, timing: MemoryTiming):
+        super().__init__(geometry, timing)
+        self._penalty = timing.fill_penalty(geometry.line_size)
+
+    def _access(self, line: int, first_offset: int, now: int) -> tuple[int, bool]:
+        if self.cache.access_line(line):
+            return 0, False
+        return self._penalty, True

@@ -1,0 +1,113 @@
+"""Non-sequential (Markov / miss-correlation) prefetching.
+
+The paper's stated future work:
+
+    "This study did not consider more aggressive (non-sequential)
+    prefetching schemes...  By making the IBS traces available, we hope
+    to encourage the exploration of these more sophisticated hardware
+    mechanisms on demanding workloads."
+
+This module is that exploration.  A *Markov prefetcher* records, per
+missing line, which line missed next last time; on a miss it prefetches
+the recorded successor(s) into a small fully-associative prefetch buffer
+(looked up in parallel with the cache, like a stream buffer).  Unlike
+sequential prefetch it can follow taken branches, call targets and
+cross-procedure transitions — exactly the cold transfers that keep the
+paper's Table 8 curves from reaching zero.
+
+The ``hybrid`` flag adds next-sequential prefetching alongside the
+predicted successor, the classic combination.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import FetchEngine
+from repro.fetch.timing import MemoryTiming
+
+
+class MarkovPrefetchEngine(FetchEngine):
+    """L1 with a miss-successor (Markov) prefetcher.
+
+    The correlation table maps a missing line to the line that missed
+    immediately after it last time (one successor per entry, LRU-bounded
+    at ``table_size`` entries).  On a miss, the table's prediction —
+    plus the next sequential line when ``hybrid`` — is requested into an
+    ``n_buffers``-entry prefetch buffer.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: MemoryTiming,
+        table_size: int = 1024,
+        n_buffers: int = 4,
+        hybrid: bool = False,
+    ):
+        super().__init__(geometry, timing)
+        if table_size < 1:
+            raise ValueError(f"table_size must be >= 1, got {table_size}")
+        if n_buffers < 1:
+            raise ValueError(f"n_buffers must be >= 1, got {n_buffers}")
+        self.table_size = table_size
+        self.n_buffers = n_buffers
+        self.hybrid = hybrid
+        self._penalty = timing.fill_penalty(geometry.line_size)
+        # Correlation table: miss line -> next miss line (LRU-bounded).
+        self._table: dict[int, int] = {}
+        # Prefetch buffer: line -> arrival cycle (insertion-ordered).
+        self._buffer: dict[int, int] = {}
+        self._last_miss: int | None = None
+        self.buffer_hits = 0
+        self.predictions_made = 0
+
+    def _access(self, line: int, first_offset: int, now: int) -> tuple[int, bool]:
+        cache = self.cache
+        if cache.contains_line(line):
+            return 0, False
+        arrival = self._buffer.pop(line, None)
+        if arrival is not None:
+            # Prefetch-buffer hit: move into the cache, pay only the
+            # remaining flight time.
+            self.buffer_hits += 1
+            cache.install_line(line)
+            self._learn(line)
+            self._predict(line, now)
+            return max(0, arrival - now), False
+
+        # Full miss.
+        cache.install_line(line)
+        self._learn(line)
+        self._predict(line, now)
+        return self._penalty, True
+
+    def _learn(self, miss_line: int) -> None:
+        """Record the (previous miss -> this miss) correlation."""
+        previous = self._last_miss
+        if previous is not None and previous != miss_line:
+            if previous in self._table:
+                del self._table[previous]
+            elif len(self._table) >= self.table_size:
+                del self._table[next(iter(self._table))]
+            self._table[previous] = miss_line
+        self._last_miss = miss_line
+
+    def _predict(self, miss_line: int, now: int) -> None:
+        """Issue prefetches for the predicted successor(s)."""
+        targets = []
+        predicted = self._table.get(miss_line)
+        if predicted is not None:
+            targets.append(predicted)
+        if self.hybrid:
+            targets.append(miss_line + 1)
+        arrival = now + self._penalty
+        for offset, target in enumerate(targets):
+            if self.cache.contains_line(target) or target in self._buffer:
+                continue
+            self.predictions_made += 1
+            self._insert(target, arrival + offset + 1)
+
+    def _insert(self, line: int, arrival: int) -> None:
+        while len(self._buffer) >= self.n_buffers:
+            del self._buffer[next(iter(self._buffer))]
+        self._buffer[line] = arrival

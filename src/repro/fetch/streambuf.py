@@ -1,0 +1,113 @@
+"""Pipelined memory system with stream buffers (the paper's Table 8).
+
+    "The final enhancement that we investigate is pipelining the L1-L2
+    interface.  This allows the L2 cache to accept and fill a request
+    on every cycle...  During cycles where the processor hits in the
+    cache, the memory pipeline is kept busy with sequential prefetch
+    requests.  These prefetches are not placed directly into the cache;
+    instead, they are stored in a special memory, called a stream
+    buffer [Jouppi90]."
+
+Model (following the paper's description and Table 8 caption):
+
+* The L1 line size equals the per-cycle transfer bandwidth, so a line
+  arrives ``latency`` cycles after its request and the pipelined L2
+  accepts one request per cycle.
+* The stream buffer is fully associative and dual-ported, holding up to
+  N lines, looked up in parallel with the I-cache.
+* On a miss in both: outstanding prefetches are cancelled, the missing
+  line is requested (stall = latency), and in the following N cycles
+  the next N sequential lines are requested into the stream buffer.
+* On a stream-buffer hit: the line moves into the I-cache with no
+  penalty if it has arrived, else the processor stalls for the
+  remaining flight time.  ("Some implementations may incur a 1 cycle
+  penalty during the move"; we model the zero-penalty variant the
+  caption gives as the base case.)
+* With ``refill_on_use=True`` (the paper's suggested enhancement for
+  small buffers), moving a line to the cache issues one more prefetch
+  to extend the stream.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import FetchEngine
+from repro.fetch.timing import MemoryTiming
+
+
+class StreamBufferEngine(FetchEngine):
+    """Pipelined L2 + N-line stream buffer."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        timing: MemoryTiming,
+        n_lines: int = 6,
+        refill_on_use: bool = False,
+        move_penalty: int = 0,
+    ):
+        super().__init__(geometry, timing)
+        if n_lines < 0:
+            raise ValueError(f"n_lines must be >= 0, got {n_lines}")
+        if geometry.line_size != timing.bytes_per_cycle:
+            raise ValueError(
+                "the pipelined model requires line size == bytes/cycle "
+                f"(got {geometry.line_size} B lines, "
+                f"{timing.bytes_per_cycle} B/cycle); see Table 8"
+            )
+        if move_penalty < 0:
+            raise ValueError(f"move_penalty must be >= 0, got {move_penalty}")
+        self.n_lines = n_lines
+        self.refill_on_use = refill_on_use
+        self.move_penalty = move_penalty
+        # line -> arrival cycle.  Insertion-ordered: oldest first.
+        self._buffer: dict[int, int] = {}
+        self._next_prefetch_line = -1
+        self._last_issue_cycle = -1
+
+    def _access(self, line: int, first_offset: int, now: int) -> tuple[int, bool]:
+        if self.cache.access_line(line):
+            return 0, False
+        arrival = self._buffer.pop(line, None)
+        if arrival is not None:
+            # Stream-buffer hit: move into the cache (access_line above
+            # already installed it on the miss path), wait for flight.
+            stall = max(0, arrival - now) + self.move_penalty
+            if self.refill_on_use and self.n_lines > 0:
+                self._issue_prefetch(now)
+            return stall, False
+
+        # Miss in both: cancel not-yet-arrived prefetches, restart the
+        # stream at the line after the miss.
+        self._buffer = {
+            buffered: t for buffered, t in self._buffer.items() if t <= now
+        }
+        stall = self.timing.latency
+        for i in range(self.n_lines):
+            # Request i issues i+1 cycles after the miss request.
+            self._insert(line + 1 + i, now + 1 + i + self.timing.latency)
+        self._next_prefetch_line = line + 1 + self.n_lines
+        self._last_issue_cycle = now + self.n_lines
+        return stall, True
+
+    def _issue_prefetch(self, now: int) -> None:
+        """Extend the stream by one line (refill-on-use enhancement)."""
+        issue = max(now, self._last_issue_cycle + 1)
+        self._insert(self._next_prefetch_line, issue + self.timing.latency)
+        self._next_prefetch_line += 1
+        self._last_issue_cycle = issue
+
+    def _insert(self, line: int, arrival: int) -> None:
+        if self.n_lines == 0:
+            return
+        if line in self._buffer:
+            del self._buffer[line]
+        while len(self._buffer) >= self.n_lines:
+            oldest = next(iter(self._buffer))
+            del self._buffer[oldest]
+        self._buffer[line] = arrival
+
+    @property
+    def buffered_lines(self) -> list[int]:
+        """Lines currently in the stream buffer (oldest first)."""
+        return list(self._buffer)

@@ -1,0 +1,69 @@
+"""The latency/bandwidth memory-interface timing model.
+
+Follows the paper's Table 5 caption exactly:
+
+    "Latency is the number of cycles until the first word is returned to
+    the cache.  For example, a system with a 12-cycle latency and a
+    bandwidth of 8 bytes/cycle requires 12 cycles to return the first 8
+    bytes and delivers 8 additional bytes in each subsequent cycle.
+    Filling a 32-byte line would require 12+1+1+1 = 15 cycles."
+
+so a transfer of ``n`` bytes completes at ``latency + n/bandwidth - 1``
+cycles after the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.validate import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Latency and bandwidth of one memory-hierarchy interface.
+
+    Attributes:
+        latency: cycles until the first ``bytes_per_cycle`` chunk arrives.
+        bytes_per_cycle: transfer bandwidth once streaming.
+    """
+
+    latency: int
+    bytes_per_cycle: int
+
+    def __post_init__(self) -> None:
+        check_positive("latency", self.latency)
+        check_positive("bytes_per_cycle", self.bytes_per_cycle)
+
+    def fill_penalty(self, n_bytes: int) -> int:
+        """Cycles from request until the last byte of ``n_bytes`` arrives."""
+        if n_bytes <= 0:
+            raise ValueError(f"n_bytes must be positive, got {n_bytes}")
+        beats = -(-n_bytes // self.bytes_per_cycle)  # ceil division
+        return self.latency + beats - 1
+
+    def cycles_until_byte(self, byte_offset: int) -> int:
+        """Cycles from request until the byte at ``byte_offset`` (0-based,
+        from the start of the transfer) has arrived.
+
+        The first ``bytes_per_cycle`` bytes land at ``latency``; each
+        subsequent cycle delivers the next chunk.  Used by the bypass
+        model ("continue execution as soon as the missing word has
+        returned").
+        """
+        if byte_offset < 0:
+            raise ValueError(f"byte_offset must be >= 0, got {byte_offset}")
+        return self.latency + byte_offset // self.bytes_per_cycle
+
+
+#: Table 5's "economy" next level: main memory, 30-cycle latency,
+#: 4 bytes/cycle.
+ECONOMY_MEMORY = MemoryTiming(latency=30, bytes_per_cycle=4)
+
+#: Table 5's "high-performance" next level: an ideal off-chip cache,
+#: 12-cycle latency, 8 bytes/cycle.
+HIGH_PERF_MEMORY = MemoryTiming(latency=12, bytes_per_cycle=8)
+
+#: The on-chip L1-L2 interface used throughout Section 5: 6-cycle
+#: latency, 16 bytes/cycle (Figure 3 caption).
+L1_L2_INTERFACE = MemoryTiming(latency=6, bytes_per_cycle=16)

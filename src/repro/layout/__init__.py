@@ -1,0 +1,26 @@
+"""Profile-guided code placement (the paper's Section 2 software methods).
+
+    "Compilers can reduce conflict misses by carefully placing
+    procedures in memory with the assistance of execution-profile
+    information and through call-graph analysis [Hwu89, McFarling89,
+    Torrellas95]."
+
+The paper deliberately does not evaluate these; this subpackage does, as
+an extension study.  :mod:`repro.layout.profile` attributes a trace's
+instruction fetches back to the procedures of the synthetic code image
+(an execution profile), and :mod:`repro.layout.placement` re-lays the
+image out — hottest procedures packed contiguously from the base — and
+rewrites the trace's addresses accordingly, so the same execution can be
+re-simulated under the optimized layout.
+"""
+
+from repro.layout.profile import ExecutionProfile, profile_trace
+from repro.layout.placement import PlacementPlan, place_by_heat, relocate_addresses
+
+__all__ = [
+    "ExecutionProfile",
+    "profile_trace",
+    "PlacementPlan",
+    "place_by_heat",
+    "relocate_addresses",
+]

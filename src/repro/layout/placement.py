@@ -1,0 +1,93 @@
+"""Heat-ordered procedure placement and trace relocation.
+
+Implements the McFarling/Hwu-class optimization in its simplest
+effective form: sort procedures by profiled execution heat and pack them
+contiguously from the component's code base, hottest first.  The hot set
+then occupies a compact, conflict-free prefix of the address space
+instead of being scattered across page-aligned modules — directly
+attacking the conflict-miss component of the paper's Figure 1.
+
+:func:`relocate_addresses` rewrites a trace's fetch addresses under the
+new layout, so the identical execution can be re-simulated and the miss
+ratios compared like for like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.profile import ExecutionProfile
+from repro.workloads.codeimage import CodeImage
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """A relocation of one code image.
+
+    Attributes:
+        image: the original image.
+        new_bases: new base address per procedure (indexed like
+            ``image.procedures``).
+        order: procedure indices in placement order (hottest first).
+    """
+
+    image: CodeImage
+    new_bases: np.ndarray
+    order: np.ndarray
+
+    def displacement(self, procedure_index: int) -> int:
+        """Signed address shift applied to one procedure."""
+        return int(
+            self.new_bases[procedure_index]
+            - self.image.procedures[procedure_index].base
+        )
+
+
+def place_by_heat(profile: ExecutionProfile) -> PlacementPlan:
+    """Pack procedures contiguously in decreasing profiled heat.
+
+    Ties (e.g. never-executed procedures) keep their original relative
+    order, so the plan is deterministic.
+    """
+    image = profile.image
+    n = len(image.procedures)
+    # Stable sort on negative counts keeps original order among equals.
+    order = np.argsort(-profile.counts, kind="stable")
+    base = min(p.base for p in image.procedures)
+    new_bases = np.zeros(n, dtype=np.uint64)
+    cursor = base
+    for index in order:
+        procedure = image.procedures[int(index)]
+        new_bases[index] = cursor
+        cursor += procedure.size_bytes
+    return PlacementPlan(image=image, new_bases=new_bases, order=order)
+
+
+def relocate_addresses(
+    addresses: np.ndarray, plan: PlacementPlan
+) -> np.ndarray:
+    """Rewrite fetch addresses under a placement plan.
+
+    Addresses outside the image's procedures (other components) pass
+    through unchanged.
+    """
+    image = plan.image
+    procedures = sorted(image.procedures, key=lambda p: p.base)
+    bases = np.array([p.base for p in procedures], dtype=np.uint64)
+    ends = np.array([p.end for p in procedures], dtype=np.uint64)
+    targets = np.array(
+        [plan.new_bases[p.index] for p in procedures], dtype=np.uint64
+    )
+
+    addresses = np.asarray(addresses, dtype=np.uint64)
+    positions = np.searchsorted(bases, addresses, side="right") - 1
+    valid = positions >= 0
+    clipped = np.clip(positions, 0, len(procedures) - 1)
+    inside = valid & (addresses < ends[clipped])
+
+    out = addresses.copy()
+    offsets = addresses[inside] - bases[clipped[inside]]
+    out[inside] = targets[clipped[inside]] + offsets
+    return out

@@ -1,0 +1,25 @@
+"""Measurement-apparatus models.
+
+The paper's numbers come from two instruments attached to real
+DECstations: a hardware logic analyzer ("Monster") that captured
+complete address traces by stalling the CPU whenever its buffer filled,
+and a non-invasive hardware monitor that measured CPI directly.  This
+subpackage models both, so the reproduction can (a) produce the CPI
+breakdowns of Tables 1 and 3 and (b) quantify the trace-capture
+distortion the paper bounds at 5%.
+"""
+
+from repro.monitor.hwcounters import (
+    DECSTATION_3100,
+    MachineSpec,
+    HardwareMonitor,
+)
+from repro.monitor.logic_analyzer import MonsterCapture, CaptureReport
+
+__all__ = [
+    "DECSTATION_3100",
+    "MachineSpec",
+    "HardwareMonitor",
+    "MonsterCapture",
+    "CaptureReport",
+]

@@ -1,0 +1,27 @@
+"""Trap-driven simulation (the Tapeworm II model).
+
+The paper complements its trace-driven results with Tapeworm II, a
+simulator that ran *inside* the OS kernel alongside the workload, so
+every experimental trial saw the real, different virtual-to-physical
+page mapping the OS happened to produce — exposing the run-to-run
+performance variability of physically-indexed caches (Figure 5).
+
+This subpackage reproduces the methodology: each trial draws a fresh
+random page mapping, translates the workload's references, simulates
+the physically-indexed cache, and the harness reports the mean and
+standard deviation of CPIinstr across trials.
+"""
+
+from repro.tapeworm.trapdriven import (
+    TapewormSimulator,
+    TrialResult,
+    VariabilityResult,
+    translate_lines,
+)
+
+__all__ = [
+    "TapewormSimulator",
+    "TrialResult",
+    "VariabilityResult",
+    "translate_lines",
+]

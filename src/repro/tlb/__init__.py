@@ -1,0 +1,28 @@
+"""TLB simulation.
+
+Models the R2000/R3000 translation hardware the paper's machines used:
+a fully-associative, 64-entry TLB over 4 KB pages with software-managed
+refill (the miss penalty is the software handler's path length, not a
+hardware state machine).
+"""
+
+from repro.tlb.tlb import (
+    Tlb,
+    TlbResult,
+    simulate_tlb,
+    R2000_TLB_ENTRIES,
+    R2000_PAGE_SIZE,
+    DEFAULT_REFILL_CYCLES,
+)
+from repro.tlb.mach_tlb import MachTlbResult, simulate_mach_tlb
+
+__all__ = [
+    "Tlb",
+    "TlbResult",
+    "simulate_tlb",
+    "R2000_TLB_ENTRIES",
+    "R2000_PAGE_SIZE",
+    "DEFAULT_REFILL_CYCLES",
+    "MachTlbResult",
+    "simulate_mach_tlb",
+]

@@ -1,0 +1,55 @@
+"""Address-trace representation and manipulation.
+
+This subpackage provides the reference-stream substrate that everything
+else in the library consumes: a compact numpy-backed :class:`Trace`
+container holding instruction-fetch and data references tagged with the
+address-space component (user task, kernel, BSD server, X server) that
+issued them, plus trace I/O, line-granular run-length encoding, filters
+and summary statistics.
+
+The design mirrors the traces the paper collected with the Monster logic
+analyzer: long, continuous streams covering *all* user and operating
+system activity.
+"""
+
+from repro.trace.record import RefKind, Component, COMPONENT_NAMES
+from repro.trace.trace import Trace
+from repro.trace.io import save_trace, load_trace, save_dinero, load_dinero
+from repro.trace.rle import LineRuns, to_line_runs
+from repro.trace.filters import (
+    ifetch_only,
+    data_only,
+    by_kind,
+    by_component,
+    concat,
+    head,
+    interleave,
+)
+from repro.trace.flow import FlowStats, flow_stats, miss_sequentiality
+from repro.trace.stats import TraceStats, compute_stats, component_mix
+
+__all__ = [
+    "RefKind",
+    "Component",
+    "COMPONENT_NAMES",
+    "Trace",
+    "save_trace",
+    "load_trace",
+    "save_dinero",
+    "load_dinero",
+    "LineRuns",
+    "to_line_runs",
+    "ifetch_only",
+    "data_only",
+    "by_kind",
+    "by_component",
+    "concat",
+    "head",
+    "interleave",
+    "FlowStats",
+    "flow_stats",
+    "miss_sequentiality",
+    "TraceStats",
+    "compute_stats",
+    "component_mix",
+]

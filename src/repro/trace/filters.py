@@ -1,0 +1,86 @@
+"""Trace filters and combinators.
+
+All filters preserve program order and return new :class:`Trace`
+instances (traces are immutable).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.trace.record import RefKind, Component
+from repro.trace.trace import Trace
+
+
+def ifetch_only(trace: Trace) -> Trace:
+    """Keep only instruction fetches.
+
+    The paper's Section 5 considers instruction references exclusively,
+    "to factor away data-reference effects".
+    """
+    return by_kind(trace, RefKind.IFETCH)
+
+
+def data_only(trace: Trace) -> Trace:
+    """Keep only loads and stores."""
+    return trace.select(trace.kinds != RefKind.IFETCH)
+
+
+def by_kind(trace: Trace, kind: RefKind) -> Trace:
+    """Keep only references of the given kind."""
+    return trace.select(trace.kinds == int(kind))
+
+
+def by_component(trace: Trace, component: Component) -> Trace:
+    """Keep only references issued by the given workload component."""
+    return trace.select(trace.components == int(component))
+
+
+def concat(traces: Iterable[Trace], label: str = "") -> Trace:
+    """Concatenate traces end to end (e.g. a multiprogrammed sequence)."""
+    traces = list(traces)
+    if not traces:
+        return Trace.empty(label)
+    return Trace(
+        np.concatenate([t.addresses for t in traces]),
+        np.concatenate([t.kinds for t in traces]),
+        np.concatenate([t.components for t in traces]),
+        label or traces[0].label,
+    )
+
+
+def head(trace: Trace, n_references: int) -> Trace:
+    """The first ``n_references`` references of the trace."""
+    if n_references < 0:
+        raise ValueError(f"n_references must be non-negative, got {n_references}")
+    return trace[:n_references]
+
+
+def interleave(traces: list[Trace], quantum: int, label: str = "") -> Trace:
+    """Round-robin multiprogramming: ``quantum`` references per turn.
+
+    Models context switching between independently-executing tasks (the
+    Mogul/Borg effect the paper cites): each task's stream is consumed
+    in scheduling quanta, so every switch lands the cache in another
+    task's working set.  Traces shorter than the round simply finish
+    early.
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+    if not traces:
+        return Trace.empty(label)
+    pieces = []
+    cursors = [0] * len(traces)
+    remaining = sum(len(t) for t in traces)
+    while remaining > 0:
+        for i, trace in enumerate(traces):
+            start = cursors[i]
+            if start >= len(trace):
+                continue
+            stop = min(start + quantum, len(trace))
+            pieces.append(trace[start:stop])
+            cursors[i] = stop
+            remaining -= stop - start
+    return concat(pieces, label=label or "interleaved")

@@ -1,0 +1,118 @@
+"""Control-flow statistics of instruction streams.
+
+Characterizes the fetch-relevant flow structure of a trace — the
+quantities that determine how the Section 5 mechanisms behave:
+
+* **taken-transfer rate**: fraction of fetches that do not fall through
+  sequentially (drives line-size and prefetch effectiveness);
+* **basic-block (sequential run) length distribution**;
+* **transfer displacement profile**: how far taken transfers jump —
+  short loops and local branches versus cross-procedure and
+  cross-component transfers (drives stream-buffer vs Markov-prefetch
+  behaviour);
+* **miss-edge sequentiality**: among *cache-missing* fetches, how often
+  the next miss is the sequential successor line (an upper bound on
+  what sequential prefetch can cover — the paper's Table 8 saturation
+  is this number in disguise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.bitops import ilog2
+from repro.caches.base import CacheGeometry
+from repro.caches.vectorized import miss_mask_set_associative
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Control-flow summary of one instruction stream.
+
+    Attributes:
+        fetches: instruction count.
+        taken_rate: fraction of fetch transitions that are not
+            sequential (+4 bytes).
+        mean_block: mean sequential run length, in instructions.
+        median_displacement: median absolute jump distance of taken
+            transfers, in bytes.
+        short_jump_fraction: fraction of taken transfers within +-256
+            bytes (loops and local branches).
+        backward_fraction: fraction of taken transfers going backward
+            (loop back-edges).
+    """
+
+    fetches: int
+    taken_rate: float
+    mean_block: float
+    median_displacement: float
+    short_jump_fraction: float
+    backward_fraction: float
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join(
+            [
+                f"fetches:            {self.fetches:,}",
+                f"taken-transfer rate: {self.taken_rate:.1%}",
+                f"mean basic block:   {self.mean_block:.1f} instructions",
+                f"median jump:        {self.median_displacement:.0f} bytes",
+                f"short jumps (<=256B): {self.short_jump_fraction:.1%}",
+                f"backward jumps:     {self.backward_fraction:.1%}",
+            ]
+        )
+
+
+def flow_stats(trace: Trace) -> FlowStats:
+    """Compute :class:`FlowStats` for a trace's instruction fetches."""
+    addresses = trace.ifetch_addresses().astype(np.int64)
+    n = len(addresses)
+    if n < 2:
+        return FlowStats(n, 0.0, float(n), 0.0, 0.0, 0.0)
+    deltas = np.diff(addresses)
+    taken = deltas != 4
+    n_taken = int(taken.sum())
+    taken_rate = n_taken / (n - 1)
+    mean_block = n / max(n_taken + 1, 1)
+    if n_taken:
+        displacements = deltas[taken]
+        magnitude = np.abs(displacements)
+        median_displacement = float(np.median(magnitude))
+        short_fraction = float((magnitude <= 256).sum() / n_taken)
+        backward_fraction = float((displacements < 0).sum() / n_taken)
+    else:
+        median_displacement = 0.0
+        short_fraction = 0.0
+        backward_fraction = 0.0
+    return FlowStats(
+        fetches=n,
+        taken_rate=taken_rate,
+        mean_block=mean_block,
+        median_displacement=median_displacement,
+        short_jump_fraction=short_fraction,
+        backward_fraction=backward_fraction,
+    )
+
+
+def miss_sequentiality(
+    trace: Trace, geometry: CacheGeometry
+) -> float:
+    """Fraction of misses whose *next miss* is the sequential next line.
+
+    This is the ceiling on what a 1-line sequential prefetcher could
+    cover, and the asymptote stream buffers approach as depth grows
+    (the paper's Table 8).  Computed over the given cache geometry.
+    """
+    addresses = trace.ifetch_addresses()
+    lines = addresses >> np.uint64(ilog2(geometry.line_size))
+    miss = miss_mask_set_associative(
+        lines, geometry.n_sets, geometry.associativity
+    )
+    miss_lines = lines[miss].astype(np.int64)
+    if len(miss_lines) < 2:
+        return 0.0
+    sequential = np.diff(miss_lines) == 1
+    return float(sequential.sum() / (len(miss_lines) - 1))

@@ -1,0 +1,46 @@
+"""Reference kinds and workload components.
+
+A trace record is a ``(address, kind, component)`` triple.  ``kind``
+distinguishes instruction fetches from loads and stores (the DECstation
+3100 write-through write buffer makes stores a separate CPI component in
+the paper's Table 1).  ``component`` identifies which address-space
+domain issued the reference — the paper's Table 4 breaks execution time
+into user task, Mach kernel, BSD server and X server components.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RefKind(enum.IntEnum):
+    """The kind of a memory reference."""
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+
+
+class Component(enum.IntEnum):
+    """The address-space domain a reference was issued from.
+
+    Under a monolithic OS (Ultrix) only ``USER`` and ``KERNEL`` occur.
+    Under the Mach 3.0 microkernel, OS services run in the user-level
+    ``BSD_SERVER`` and display requests in the ``X_SERVER``.
+    """
+
+    USER = 0
+    KERNEL = 1
+    BSD_SERVER = 2
+    X_SERVER = 3
+
+
+COMPONENT_NAMES: dict[Component, str] = {
+    Component.USER: "User",
+    Component.KERNEL: "Kernel",
+    Component.BSD_SERVER: "BSD",
+    Component.X_SERVER: "X",
+}
+
+#: Instruction word size of the modelled MIPS R2000/R3000 target.
+INSTRUCTION_BYTES = 4

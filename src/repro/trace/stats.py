@@ -1,0 +1,157 @@
+"""Trace characterization statistics.
+
+These are the statistics the paper uses to argue that IBS differs from
+SPEC: instruction footprint (the bloat itself), component execution-time
+mix (Table 4's user/kernel/BSD/X columns), and sequential run lengths
+(which govern line-size and prefetch behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import RefKind, Component, COMPONENT_NAMES
+from repro.trace.rle import to_line_runs
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace.
+
+    Attributes:
+        references: total reference count.
+        instructions: instruction-fetch count.
+        loads: load count.
+        stores: store count.
+        ifetch_footprint_bytes: unique instruction bytes touched
+            (unique 4-byte instruction words x 4).
+        ifetch_lines_touched: unique 32-byte instruction lines touched.
+        data_footprint_bytes: unique data bytes touched (word granular).
+        mean_sequential_run: mean length, in instructions, of maximal
+            strictly-sequential instruction runs.
+        component_fractions: fraction of instruction fetches per component.
+    """
+
+    references: int
+    instructions: int
+    loads: int
+    stores: int
+    ifetch_footprint_bytes: int
+    ifetch_lines_touched: int
+    data_footprint_bytes: int
+    mean_sequential_run: float
+    component_fractions: dict[Component, float]
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary."""
+        mix = ", ".join(
+            f"{COMPONENT_NAMES[c]} {f:.0%}"
+            for c, f in sorted(self.component_fractions.items())
+        )
+        return "\n".join(
+            [
+                f"references:          {self.references:,}",
+                f"instructions:        {self.instructions:,}",
+                f"loads / stores:      {self.loads:,} / {self.stores:,}",
+                f"I-footprint:         {self.ifetch_footprint_bytes / 1024:.1f} KB"
+                f" ({self.ifetch_lines_touched:,} lines of 32 B)",
+                f"D-footprint:         {self.data_footprint_bytes / 1024:.1f} KB",
+                f"mean sequential run: {self.mean_sequential_run:.1f} instructions",
+                f"component mix:       {mix}",
+            ]
+        )
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    kinds = trace.kinds
+    ifetch_mask = kinds == RefKind.IFETCH
+    ifetch_addrs = trace.addresses[ifetch_mask]
+    data_addrs = trace.addresses[~ifetch_mask]
+
+    instructions = int(ifetch_mask.sum())
+    loads = int(np.count_nonzero(kinds == RefKind.LOAD))
+    stores = int(np.count_nonzero(kinds == RefKind.STORE))
+
+    unique_instr_words = _unique_count(ifetch_addrs >> np.uint64(2))
+    unique_instr_lines = _unique_count(ifetch_addrs >> np.uint64(5))
+    unique_data_words = _unique_count(data_addrs >> np.uint64(2))
+
+    mean_run = _mean_sequential_run(ifetch_addrs)
+    fractions = component_mix(trace)
+
+    return TraceStats(
+        references=len(trace),
+        instructions=instructions,
+        loads=loads,
+        stores=stores,
+        ifetch_footprint_bytes=unique_instr_words * 4,
+        ifetch_lines_touched=unique_instr_lines,
+        data_footprint_bytes=unique_data_words * 4,
+        mean_sequential_run=mean_run,
+        component_fractions=fractions,
+    )
+
+
+def component_mix(trace: Trace) -> dict[Component, float]:
+    """Fraction of instruction fetches issued by each component.
+
+    This reproduces the paper's "% of execution time" breakdown (on a
+    single-issue machine, instruction count is execution time up to
+    stalls).
+    """
+    ifetch_mask = trace.kinds == RefKind.IFETCH
+    components = trace.components[ifetch_mask]
+    if len(components) == 0:
+        return {}
+    counts = np.bincount(components, minlength=len(Component))
+    total = counts.sum()
+    return {
+        comp: float(counts[comp]) / total
+        for comp in Component
+        if counts[comp] > 0
+    }
+
+
+def working_set_curve(
+    trace: Trace, line_size: int, window: int
+) -> np.ndarray:
+    """Unique lines touched in each non-overlapping ``window`` of fetches.
+
+    A direct measure of the instruction working set over time; bloated
+    code shows systematically higher curves.
+    """
+    addrs = trace.ifetch_addresses()
+    shift = line_size.bit_length() - 1
+    lines = addrs >> np.uint64(shift)
+    n_windows = len(lines) // window
+    result = np.empty(n_windows, dtype=np.int64)
+    for i in range(n_windows):
+        result[i] = _unique_count(lines[i * window : (i + 1) * window])
+    return result
+
+
+def sequential_run_lengths(trace: Trace) -> np.ndarray:
+    """Lengths of maximal strictly-sequential instruction runs."""
+    addrs = trace.ifetch_addresses()
+    if len(addrs) == 0:
+        return np.zeros(0, dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(addrs.astype(np.int64)) != 4)
+    edges = np.concatenate(([-1], breaks, [len(addrs) - 1]))
+    return np.diff(edges).astype(np.int64)
+
+
+def _mean_sequential_run(ifetch_addrs: np.ndarray) -> float:
+    if len(ifetch_addrs) == 0:
+        return 0.0
+    n_breaks = int(np.count_nonzero(np.diff(ifetch_addrs.astype(np.int64)) != 4))
+    return len(ifetch_addrs) / (n_breaks + 1)
+
+
+def _unique_count(values: np.ndarray) -> int:
+    if len(values) == 0:
+        return 0
+    return int(len(np.unique(values)))

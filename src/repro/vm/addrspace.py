@@ -1,0 +1,67 @@
+"""Address-space layout for synthesized workloads.
+
+Each workload component (user task, kernel, BSD server, X server) runs
+in its own address-space domain.  The synthesizer gives every component
+disjoint virtual regions, following MIPS/Ultrix conventions: user text
+low (0x0040_0000, the MIPS ``.text`` base), kernel text in the upper
+half (0x8000_0000, kseg0), and Mach's user-level servers in their own
+task regions.  Disjointness is what lets the trace-driven experiments
+index caches directly on virtual addresses (one fixed mapping) while the
+trap-driven harness re-randomizes page placement per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.record import Component
+
+_CODE_BASES = {
+    Component.USER: 0x0040_0000,
+    Component.KERNEL: 0x8000_0000,
+    Component.BSD_SERVER: 0x2000_0000,
+    Component.X_SERVER: 0x3000_0000,
+}
+
+_DATA_BASES = {
+    Component.USER: 0x4000_0000,
+    Component.KERNEL: 0xA000_0000,
+    Component.BSD_SERVER: 0x5000_0000,
+    Component.X_SERVER: 0x6000_0000,
+}
+
+_STACK_BASES = {
+    Component.USER: 0x7FFF_0000,
+    Component.KERNEL: 0xBFFF_0000,
+    Component.BSD_SERVER: 0x77FF_0000,
+    Component.X_SERVER: 0x78FF_0000,
+}
+
+#: Maximum code region span per component (256 MB) — regions never overlap.
+REGION_SPAN = 0x1000_0000
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Virtual-region assignment for one workload's components."""
+
+    page_size: int = 4096
+
+    def code_base(self, component: Component) -> int:
+        """Base virtual address of the component's text segment."""
+        return _CODE_BASES[component]
+
+    def data_base(self, component: Component) -> int:
+        """Base virtual address of the component's heap/static data."""
+        return _DATA_BASES[component]
+
+    def stack_base(self, component: Component) -> int:
+        """Top-of-stack virtual address for the component (grows down)."""
+        return _STACK_BASES[component]
+
+    def component_of_code_address(self, address: int) -> Component | None:
+        """Reverse lookup: which component owns a text address."""
+        for component, base in _CODE_BASES.items():
+            if base <= address < base + REGION_SPAN:
+                return component
+        return None

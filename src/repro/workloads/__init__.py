@@ -1,0 +1,64 @@
+"""Synthetic workload models (the IBS and SPEC92 suites).
+
+The paper's workloads are real binaries traced on real hardware; the
+traces are no longer obtainable.  This subpackage replaces them with
+*program-structure-driven synthesis*: each workload is described by a
+:class:`WorkloadParams` record — per-component code footprints,
+procedure-reuse locality, loop structure, OS-service mix — and
+:class:`TraceSynthesizer` turns that description into a full address
+trace (instruction fetches, loads, stores, tagged with the issuing
+component).
+
+Parameters are calibrated so each workload's 8 KB direct-mapped MPI
+matches the paper's Table 4 and the suite miss-versus-size curves match
+Figure 1 (see ``tools/calibrate.py`` and EXPERIMENTS.md).
+"""
+
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.params import ComponentParams, WorkloadParams
+from repro.workloads.codeimage import Procedure, Module, CodeImage, build_code_image
+from repro.workloads.callgraph import build_call_graph, call_graph_stats
+from repro.workloads.generator import TraceSynthesizer, synthesize_trace
+from repro.workloads.ibs import IBS_WORKLOADS, ibs_workload
+from repro.workloads.spec import (
+    SPEC92_INT_WORKLOADS,
+    SPEC92_FP_WORKLOADS,
+    SPEC89_INT_WORKLOADS,
+    SPEC89_FP_WORKLOADS,
+    spec_workload,
+)
+from repro.workloads.registry import (
+    get_workload,
+    get_trace,
+    list_workloads,
+    suite_names,
+    suite_workloads,
+    clear_trace_cache,
+)
+
+__all__ = [
+    "WorkloadBuilder",
+    "ComponentParams",
+    "WorkloadParams",
+    "Procedure",
+    "Module",
+    "CodeImage",
+    "build_code_image",
+    "build_call_graph",
+    "call_graph_stats",
+    "TraceSynthesizer",
+    "synthesize_trace",
+    "IBS_WORKLOADS",
+    "ibs_workload",
+    "SPEC92_INT_WORKLOADS",
+    "SPEC92_FP_WORKLOADS",
+    "SPEC89_INT_WORKLOADS",
+    "SPEC89_FP_WORKLOADS",
+    "spec_workload",
+    "get_workload",
+    "get_trace",
+    "list_workloads",
+    "suite_names",
+    "suite_workloads",
+    "clear_trace_cache",
+]

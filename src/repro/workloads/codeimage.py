@@ -1,0 +1,161 @@
+"""Synthetic code images: procedures, modules, and their memory layout.
+
+A component's text segment is modelled as a list of modules (the
+application core, linked libraries such as Xlib/tk/stdio, emulation
+layers), each containing procedures packed sequentially.  Modules are
+placed with alignment gaps, reflecting the sparser, more fragmented
+address-space use of bloated, many-library programs — which is what
+creates cache-mapping conflicts between hot procedures in different
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.bitops import align_up
+from repro._util.rng import make_rng, spawn
+from repro.trace.record import Component
+from repro.vm.addrspace import AddressSpaceLayout
+
+#: Modules are aligned to page boundaries, as linkers align sections.
+_MODULE_ALIGNMENT = 4096
+
+#: Minimum procedure size: a handful of instructions.
+_MIN_PROC_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """One procedure in a synthetic code image.
+
+    Attributes:
+        index: position within the component's procedure list.
+        base: virtual address of the first instruction (4-byte aligned).
+        size_bytes: size of the procedure body.
+        module: index of the containing module.
+        component: the address-space domain the procedure lives in.
+    """
+
+    index: int
+    base: int
+    size_bytes: int
+    module: int
+    component: Component
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of 4-byte instructions in the body."""
+        return self.size_bytes // 4
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the procedure."""
+        return self.base + self.size_bytes
+
+
+@dataclass(frozen=True)
+class Module:
+    """A contiguous group of procedures (an object file / library)."""
+
+    index: int
+    name: str
+    base: int
+    size_bytes: int
+    procedure_indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CodeImage:
+    """The complete text segment of one component."""
+
+    component: Component
+    procedures: tuple[Procedure, ...]
+    modules: tuple[Module, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of procedure body sizes (excluding inter-module gaps)."""
+        return sum(p.size_bytes for p in self.procedures)
+
+    @property
+    def span_bytes(self) -> int:
+        """Address-space span from first to last byte, including gaps."""
+        if not self.procedures:
+            return 0
+        return max(p.end for p in self.procedures) - min(
+            p.base for p in self.procedures
+        )
+
+
+def build_code_image(
+    component: Component,
+    n_procedures: int,
+    mean_proc_bytes: float,
+    seed: int,
+    layout: AddressSpaceLayout | None = None,
+    procedures_per_module: int = 24,
+) -> CodeImage:
+    """Generate a code image with ``n_procedures`` procedures.
+
+    Procedure sizes are lognormal around ``mean_proc_bytes`` (real text
+    segments mix many small helpers with a few large bodies), rounded to
+    instruction granularity, packed into modules of roughly
+    ``procedures_per_module`` procedures each, with modules aligned to
+    page boundaries.
+    """
+    if n_procedures < 1:
+        raise ValueError(f"n_procedures must be >= 1, got {n_procedures}")
+    layout = layout or AddressSpaceLayout()
+    rng = spawn(make_rng(seed), f"codeimage:{component.name}")
+
+    # Lognormal sizes with sigma=0.8: median well under the mean, a
+    # heavy-ish right tail.  mu chosen so the mean is mean_proc_bytes.
+    sigma = 0.8
+    mu = np.log(mean_proc_bytes) - sigma * sigma / 2
+    sizes = np.exp(rng.normal(mu, sigma, n_procedures))
+    sizes = np.maximum(sizes, _MIN_PROC_BYTES)
+    sizes = (np.ceil(sizes / 4) * 4).astype(np.int64)
+
+    procedures: list[Procedure] = []
+    modules: list[Module] = []
+    cursor = layout.code_base(component)
+    index = 0
+    module_index = 0
+    while index < n_procedures:
+        module_base = align_up(cursor, _MODULE_ALIGNMENT)
+        cursor = module_base
+        count = min(procedures_per_module, n_procedures - index)
+        member_indices = []
+        for _ in range(count):
+            size = int(sizes[index])
+            procedures.append(
+                Procedure(
+                    index=index,
+                    base=cursor,
+                    size_bytes=size,
+                    module=module_index,
+                    component=component,
+                )
+            )
+            member_indices.append(index)
+            cursor += size
+            index += 1
+        modules.append(
+            Module(
+                index=module_index,
+                name=f"{component.name.lower()}.mod{module_index:03d}",
+                base=module_base,
+                size_bytes=cursor - module_base,
+                procedure_indices=tuple(member_indices),
+            )
+        )
+        module_index += 1
+
+    return CodeImage(
+        component=component,
+        procedures=tuple(procedures),
+        modules=tuple(modules),
+    )

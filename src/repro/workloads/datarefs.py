@@ -1,0 +1,129 @@
+"""Data-reference address generation.
+
+Loads and stores get addresses from a per-component two-pool model:
+
+* **Stack pool**: a small, intensely-reused window below the component's
+  stack top — spills, saved registers, locals.  High spatial and
+  temporal locality.
+* **Heap/static pool**: ``data_kb`` of words reused with a Zipf rank
+  distribution over 256-byte "objects" laid out in popularity order, so
+  hot data clusters onto a few pages (as allocators and static layout
+  produce in practice) while the cold tail spreads across the whole
+  segment — the combination that gives realistic D-cache *and* TLB
+  behaviour.
+
+The data side of the paper's Tables 1 and 3 is characterization, not the
+object of study (Section 5 deliberately factors data references away),
+so this model aims for representative rates and locality, not per-datum
+calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import make_rng, spawn
+from repro.trace.record import Component
+from repro.vm.addrspace import AddressSpaceLayout
+from repro.workloads.params import WorkloadParams
+
+#: Fraction of data references that target the stack pool.
+_STACK_FRACTION = 0.40
+
+#: Number of hot stack words (2 KB window).
+_STACK_WORDS = 512
+
+#: Words per hash-scattered heap object.
+_OBJECT_WORDS = 64
+
+#: Zipf exponent for heap object reuse.
+_HEAP_ZIPF_A = 1.9
+
+
+class DataReferenceModel:
+    """Generates data addresses for a workload's loads and stores."""
+
+    def __init__(self, params: WorkloadParams, seed: int = 0):
+        self.params = params
+        self.layout = AddressSpaceLayout()
+        self._rng = spawn(make_rng(seed), f"datamodel:{params.name}")
+        self._heap_objects = {
+            component: max(
+                1, int(cparams.data_kb * 1024 / (4 * _OBJECT_WORDS))
+            )
+            for component, cparams in params.components.items()
+        }
+        # Sequential-scan cursor per component (word index), persisting
+        # across batches so streams keep walking forward.
+        self._stream_cursor = dict.fromkeys(params.components, 0)
+
+    def addresses(
+        self,
+        components: np.ndarray,
+        is_store: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Addresses for a batch of data references.
+
+        Args:
+            components: per-reference component ids (``uint8``).
+            is_store: per-reference store flags (unused by the address
+                model itself, but kept in the signature so write-biased
+                models can be substituted).
+            rng: the generator to draw from (the synthesizer's stream).
+        """
+        n = len(components)
+        out = np.zeros(n, dtype=np.uint64)
+        stack_mask = rng.random(n) < _STACK_FRACTION
+        for component_id in np.unique(components):
+            component = Component(int(component_id))
+            member = components == component_id
+            self._fill_component(
+                out, member & stack_mask, member & ~stack_mask, component, rng
+            )
+        return out
+
+    def _fill_component(
+        self,
+        out: np.ndarray,
+        stack_sel: np.ndarray,
+        heap_sel: np.ndarray,
+        component: Component,
+        rng: np.random.Generator,
+    ) -> None:
+        n_stack = int(stack_sel.sum())
+        n_heap = int(heap_sel.sum())
+        if n_stack:
+            stack_top = self.layout.stack_base(component)
+            slots = rng.integers(0, _STACK_WORDS, n_stack).astype(np.uint64)
+            out[stack_sel] = np.uint64(stack_top) - np.uint64(4) * (slots + np.uint64(1))
+        if n_heap:
+            n_objects = self._heap_objects[component]
+            base = np.uint64(self.layout.data_base(component))
+            total_words = n_objects * _OBJECT_WORDS
+            streaming = (
+                rng.random(n_heap) < self.params.data_streaming_fraction
+            )
+            n_stream = int(streaming.sum())
+            heap_words = np.empty(n_heap, dtype=np.uint64)
+
+            # Streaming refs walk the segment sequentially (array scans).
+            if n_stream:
+                cursor = self._stream_cursor[component]
+                walk = (cursor + np.arange(n_stream, dtype=np.int64)) % total_words
+                heap_words[streaming] = walk.astype(np.uint64)
+                self._stream_cursor[component] = int(
+                    (cursor + n_stream) % total_words
+                )
+
+            # Reuse refs draw Zipf-popular objects; popularity-ordered
+            # layout packs the hot head onto a handful of pages.
+            n_reuse = n_heap - n_stream
+            if n_reuse:
+                ranks = rng.zipf(_HEAP_ZIPF_A, n_reuse).astype(np.uint64)
+                objects = (ranks - np.uint64(1)) % np.uint64(n_objects)
+                words = rng.integers(0, _OBJECT_WORDS, n_reuse).astype(np.uint64)
+                heap_words[~streaming] = (
+                    objects * np.uint64(_OBJECT_WORDS) + words
+                )
+            out[heap_sel] = base + np.uint64(4) * heap_words

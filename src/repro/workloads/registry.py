@@ -1,0 +1,114 @@
+"""Workload registry and trace cache.
+
+Central lookup for every workload model in the library, by name and OS,
+plus suite groupings matching the paper's aggregations and an in-memory
+trace cache so experiments that sweep hundreds of cache configurations
+over the same workloads synthesize each trace once.
+"""
+
+from __future__ import annotations
+
+from repro.trace.trace import Trace
+from repro.workloads.generator import synthesize_trace
+from repro.workloads.ibs import IBS_WORKLOADS
+from repro.workloads.os_model import MACH3, ULTRIX, to_ultrix
+from repro.workloads.params import WorkloadParams
+from repro.workloads.spec import (
+    SPEC89_FP_WORKLOADS,
+    SPEC89_INT_WORKLOADS,
+    SPEC92_FP_WORKLOADS,
+    SPEC92_INT_WORKLOADS,
+)
+
+#: Default trace length (instruction fetches) for experiments.  Long
+#: enough that 8 KB-cache MPIs are stable to well under the paper's
+#: quoted 5% measurement error; short enough that a full table sweep
+#: runs in minutes on a laptop.
+DEFAULT_TRACE_INSTRUCTIONS = 1_000_000
+
+_SUITES: dict[str, list[tuple[str, str]]] = {
+    "ibs-mach3": [(name, MACH3) for name in IBS_WORKLOADS],
+    "ibs-ultrix": [(name, ULTRIX) for name in IBS_WORKLOADS],
+    "specint92": [(name, "spec92") for name in SPEC92_INT_WORKLOADS],
+    "specfp92": [(name, "spec92") for name in SPEC92_FP_WORKLOADS],
+    "spec92": [(name, "spec92") for name in SPEC92_INT_WORKLOADS]
+    + [(name, "spec92") for name in SPEC92_FP_WORKLOADS],
+    "specint89": [(name, "spec89") for name in SPEC89_INT_WORKLOADS],
+    "specfp89": [(name, "spec89") for name in SPEC89_FP_WORKLOADS],
+}
+
+_trace_cache: dict[tuple, Trace] = {}
+
+
+def get_workload(name: str, os_name: str = MACH3) -> WorkloadParams:
+    """Look up a workload definition by name and OS/suite.
+
+    ``os_name`` is ``"mach3"`` or ``"ultrix"`` for IBS workloads,
+    ``"spec92"`` or ``"spec89"`` for SPEC models.
+    """
+    if os_name in (MACH3, ULTRIX):
+        if name not in IBS_WORKLOADS:
+            raise KeyError(
+                f"unknown IBS workload {name!r}; available: "
+                f"{sorted(IBS_WORKLOADS)}"
+            )
+        workload = IBS_WORKLOADS[name]
+        return to_ultrix(workload) if os_name == ULTRIX else workload
+    if os_name == "spec92":
+        table = {**SPEC92_INT_WORKLOADS, **SPEC92_FP_WORKLOADS}
+    elif os_name == "spec89":
+        table = {**SPEC89_INT_WORKLOADS, **SPEC89_FP_WORKLOADS}
+    else:
+        raise KeyError(f"unknown OS/suite {os_name!r}")
+    if name not in table:
+        raise KeyError(
+            f"unknown {os_name} workload {name!r}; available: {sorted(table)}"
+        )
+    return table[name]
+
+
+def get_trace(
+    name: str,
+    os_name: str = MACH3,
+    n_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+    seed: int = 0,
+) -> Trace:
+    """Synthesize (or fetch from cache) the trace of one workload."""
+    key = (name, os_name, n_instructions, seed)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = synthesize_trace(
+            get_workload(name, os_name), n_instructions, seed=seed
+        )
+        _trace_cache[key] = trace
+    return trace
+
+
+def list_workloads(os_name: str | None = None) -> list[tuple[str, str]]:
+    """All known ``(name, os_name)`` pairs, optionally filtered by OS."""
+    pairs: list[tuple[str, str]] = []
+    for suite in ("ibs-mach3", "ibs-ultrix", "spec92", "specint89", "specfp89"):
+        pairs.extend(_SUITES[suite])
+    if os_name is not None:
+        pairs = [p for p in pairs if p[1] == os_name]
+    return pairs
+
+
+def suite_names() -> list[str]:
+    """Names of the defined workload suites."""
+    return sorted(_SUITES)
+
+
+def suite_workloads(suite: str) -> list[tuple[str, str]]:
+    """The ``(name, os_name)`` members of a suite."""
+    try:
+        return list(_SUITES[suite])
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {suite!r}; available: {sorted(_SUITES)}"
+        ) from None
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _trace_cache.clear()

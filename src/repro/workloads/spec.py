@@ -1,0 +1,243 @@
+"""SPEC89 / SPEC92 workload models.
+
+The paper compares IBS against the SPEC benchmarks, quoting miss ratios
+from Gee et al. [Gee93] (same machine family, same compiler).  SPEC
+programs are single-task, loop-dominated, and make almost no use of OS
+services — Table 4 gives the suite 98% user / 2% kernel time and an
+average MPI of 1.10 per 100 instructions in the 8 KB direct-mapped
+cache.
+
+Each model below is a small-footprint, high-loop-reuse workload; the
+per-benchmark ``target_mpi_8kb`` values follow Gee et al.'s
+small/medium/large characterization (eqntott small, espresso medium,
+gcc large) and are chosen so the suite averages match the paper's
+quoted aggregates.
+"""
+
+from __future__ import annotations
+
+from repro.trace.record import Component
+from repro.workloads.params import ComponentParams, WorkloadParams
+
+_USER = Component.USER
+_KERNEL = Component.KERNEL
+
+#: SPEC benchmarks are loopier than IBS code: longer procedure visits,
+#: more loop iterations, tighter reuse.
+_SPEC_THETA = 1.90
+_SPEC_VISIT = 400.0
+_SPEC_LOOP_ITERS = 8.0
+
+
+def _spec(
+    name: str,
+    suite: str,
+    code_kb: float,
+    target_mpi: float | None,
+    description: str,
+    data_kb: float = 512.0,
+    load_rate: float = 0.22,
+    store_rate: float = 0.09,
+    visit_instructions: float = _SPEC_VISIT,
+    streaming: float = 0.12,
+) -> WorkloadParams:
+    components = {
+        _USER: ComponentParams(
+            exec_fraction=0.98,
+            code_kb=code_kb,
+            theta=_SPEC_THETA,
+            visit_instructions=visit_instructions,
+            loop_mean_iters=_SPEC_LOOP_ITERS,
+            data_kb=data_kb,
+        ),
+        _KERNEL: ComponentParams(
+            exec_fraction=0.02,
+            code_kb=max(16.0, code_kb * 0.15),
+            theta=_SPEC_THETA,
+            visit_instructions=90.0,
+            data_kb=64.0,
+        ),
+    }
+    return WorkloadParams(
+        name=name,
+        os_name=suite,
+        description=description,
+        components=components,
+        burst_visits=12.0,
+        load_rate=load_rate,
+        store_rate=store_rate,
+        data_streaming_fraction=streaming,
+        target_mpi_8kb=target_mpi,
+    )
+
+
+#: SPECint92 models.  Targets follow Gee et al.'s characterization.
+SPEC92_INT_WORKLOADS: dict[str, WorkloadParams] = {
+    "compress": _spec(
+        "compress", "spec92", 14.0, 0.15,
+        "LZW text compression; tiny instruction footprint.",
+        visit_instructions=510.3,
+    ),
+    "eqntott": _spec(
+        "eqntott", "spec92", 16.0, 0.20,
+        "Boolean equation to truth table translation; Gee et al.'s "
+        "'small' I-cache benchmark.",
+        visit_instructions=493.1,
+    ),
+    "espresso": _spec(
+        "espresso", "spec92", 52.0, 1.00,
+        "PLA minimization; Gee et al.'s 'medium' I-cache benchmark.",
+        visit_instructions=85.1,
+    ),
+    "sc": _spec(
+        "sc", "spec92", 62.0, 1.30,
+        "Spreadsheet calculator.",
+        visit_instructions=63.4,
+    ),
+    "xlisp": _spec(
+        "xlisp", "spec92", 70.0, 1.65,
+        "Lisp interpreter running the nine-queens problem.",
+        visit_instructions=50.9,
+    ),
+    "gcc": _spec(
+        "gcc", "spec92", 120.0, 3.30,
+        "GNU C compiler 1.35 (cc1); Gee et al.'s 'large' I-cache "
+        "benchmark.", visit_instructions=18.9,
+    ),
+}
+
+#: SPECfp92 models: tiny instruction loops, large data sets.
+SPEC92_FP_WORKLOADS: dict[str, WorkloadParams] = {
+    "tomcatv": _spec(
+        "tomcatv", "spec92", 8.0, 0.02,
+        "Vectorized mesh generation; a handful of hot loops.",
+        data_kb=4096.0, load_rate=0.30, store_rate=0.12,
+        visit_instructions=4067.5,
+        streaming=0.7,
+    ),
+    "swm256": _spec(
+        "swm256", "spec92", 8.0, 0.02,
+        "Shallow-water model; stencil loops over large grids.",
+        data_kb=4096.0, load_rate=0.30, store_rate=0.12,
+        visit_instructions=33246.4,
+        streaming=0.7,
+    ),
+    "su2cor": _spec(
+        "su2cor", "spec92", 30.0, 0.50,
+        "Quantum physics Monte-Carlo.",
+        data_kb=2048.0, load_rate=0.28, store_rate=0.11,
+        visit_instructions=185.1,
+        streaming=0.55,
+    ),
+    "hydro2d": _spec(
+        "hydro2d", "spec92", 34.0, 0.70,
+        "Navier-Stokes hydrodynamics.",
+        data_kb=2048.0, load_rate=0.28, store_rate=0.11,
+        visit_instructions=127.6,
+        streaming=0.55,
+    ),
+    "nasa7": _spec(
+        "nasa7", "spec92", 26.0, 0.40,
+        "Seven floating-point kernels.",
+        data_kb=3072.0, load_rate=0.30, store_rate=0.12,
+        visit_instructions=287.5,
+        streaming=0.6,
+    ),
+    "doduc": _spec(
+        "doduc", "spec92", 90.0, 2.20,
+        "Nuclear reactor Monte-Carlo; the large-footprint FP benchmark.",
+        data_kb=512.0, load_rate=0.25, store_rate=0.10,
+        visit_instructions=32.8,
+        streaming=0.3,
+    ),
+    "fpppp": _spec(
+        "fpppp", "spec92", 170.0, 2.60,
+        "Quantum chemistry two-electron integrals; huge basic blocks.",
+        data_kb=512.0, load_rate=0.26, store_rate=0.10,
+        visit_instructions=28.0,
+        streaming=0.3,
+    ),
+    "ora": _spec(
+        "ora", "spec92", 10.0, 0.05,
+        "Ray tracing through optical systems; tiny loops.",
+        data_kb=256.0, load_rate=0.24, store_rate=0.09,
+        visit_instructions=12483.2,
+        streaming=0.2,
+    ),
+}
+
+#: SPEC89 models (Table 1).  The 1989 releases were slightly more
+#: I-cache-demanding than their 1992 successors (the paper notes SPEC
+#: "evolved to be even less demanding of instruction caches" in 1992).
+SPEC89_INT_WORKLOADS: dict[str, WorkloadParams] = {
+    "gcc89": _spec(
+        "gcc89", "spec89", 130.0, None,
+        "GNU C compiler (SPEC89 cc1).", visit_instructions=20.0,
+    ),
+    "espresso89": _spec(
+        "espresso89", "spec89", 56.0, None,
+        "PLA minimization (SPEC89 inputs).",
+        visit_instructions=96.0,
+    ),
+    "eqntott89": _spec(
+        "eqntott89", "spec89", 18.0, None,
+        "Equation to truth table (SPEC89).",
+        visit_instructions=263.0,
+    ),
+    "li89": _spec(
+        "li89", "spec89", 74.0, None,
+        "Lisp interpreter (SPEC89).",
+        visit_instructions=49.0,
+    ),
+}
+
+SPEC89_FP_WORKLOADS: dict[str, WorkloadParams] = {
+    "matrix300": _spec(
+        "matrix300", "spec89", 6.0, None,
+        "Dense matrix multiply; one hot loop nest.",
+        data_kb=4096.0, load_rate=0.32, store_rate=0.12,
+        visit_instructions=3200.0,
+        streaming=0.75,
+    ),
+    "tomcatv89": _spec(
+        "tomcatv89", "spec89", 8.0, None,
+        "Vectorized mesh generation (SPEC89).",
+        data_kb=4096.0, load_rate=0.30, store_rate=0.12,
+        visit_instructions=3200.0,
+        streaming=0.7,
+    ),
+    "doduc89": _spec(
+        "doduc89", "spec89", 92.0, None,
+        "Nuclear reactor Monte-Carlo (SPEC89).",
+        data_kb=512.0, load_rate=0.25, store_rate=0.10,
+        visit_instructions=30.0,
+        streaming=0.3,
+    ),
+    "fpppp89": _spec(
+        "fpppp89", "spec89", 104.0, None,
+        "Quantum chemistry (SPEC89).",
+        data_kb=512.0, load_rate=0.26, store_rate=0.10,
+        visit_instructions=32.0,
+        streaming=0.3,
+    ),
+    "spice2g6": _spec(
+        "spice2g6", "spec89", 80.0, None,
+        "Analog circuit simulation (SPEC89).",
+        data_kb=1024.0, load_rate=0.27, store_rate=0.10,
+        visit_instructions=60.0,
+        streaming=0.4,
+    ),
+}
+
+
+def spec_workload(name: str) -> WorkloadParams:
+    """Look up a SPEC workload model by name (any suite)."""
+    for table in (
+        SPEC92_INT_WORKLOADS,
+        SPEC92_FP_WORKLOADS,
+        SPEC89_INT_WORKLOADS,
+        SPEC89_FP_WORKLOADS,
+    ):
+        if name in table:
+            return table[name]
+    raise KeyError(f"unknown SPEC workload {name!r}")

@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Traces are expensive to synthesize, so the workload-level fixtures are
+session-scoped and deliberately small; tests that need statistical
+stability use the ``medium_trace`` fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.trace.record import Component, RefKind
+from repro.trace.trace import Trace
+from repro.workloads.generator import synthesize_trace
+from repro.workloads.registry import clear_trace_cache, get_workload
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """A small IBS trace (fast; fine for structural assertions)."""
+    return synthesize_trace(get_workload("gcc", "mach3"), 30_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_trace() -> Trace:
+    """A medium IBS trace (for loose statistical assertions)."""
+    return synthesize_trace(get_workload("groff", "mach3"), 150_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def spec_trace() -> Trace:
+    """A small SPEC trace."""
+    return synthesize_trace(get_workload("eqntott", "spec92"), 30_000, seed=7)
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """A 1 KB direct-mapped cache, easy to reason about by hand."""
+    return CacheGeometry(size_bytes=1024, line_size=32, associativity=1)
+
+
+@pytest.fixture
+def handmade_trace() -> Trace:
+    """A fully hand-specified 6-reference trace."""
+    addresses = np.array(
+        [0x1000, 0x1004, 0x2000, 0x1008, 0x2000, 0x3000], dtype=np.uint64
+    )
+    kinds = np.array(
+        [
+            RefKind.IFETCH,
+            RefKind.IFETCH,
+            RefKind.LOAD,
+            RefKind.IFETCH,
+            RefKind.STORE,
+            RefKind.IFETCH,
+        ],
+        dtype=np.uint8,
+    )
+    components = np.array(
+        [
+            Component.USER,
+            Component.USER,
+            Component.USER,
+            Component.KERNEL,
+            Component.KERNEL,
+            Component.USER,
+        ],
+        dtype=np.uint8,
+    )
+    return Trace(addresses, kinds, components, label="handmade")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _bounded_trace_cache():
+    """Drop cached traces after the session to bound memory."""
+    yield
+    clear_trace_cache()

@@ -1,0 +1,82 @@
+"""Unit tests for three-Cs miss classification."""
+
+import numpy as np
+import pytest
+
+from repro.caches.classify import (
+    ThreeCs,
+    classify_misses,
+    classify_misses_exact,
+)
+from repro.caches.vectorized import miss_mask_direct_mapped
+
+
+def _stream(seed=0, n=4000, span=300):
+    return np.random.default_rng(seed).integers(0, span, n).astype(np.uint64)
+
+
+class TestThreeCsDataclass:
+    def test_total(self):
+        assert ThreeCs(1, 2, 3).total == 6
+
+    def test_per_instruction(self):
+        rates = ThreeCs(10, 20, 30).per_instruction(1000)
+        assert rates.compulsory == pytest.approx(0.01)
+        assert rates.total == pytest.approx(0.06)
+
+    def test_per_instruction_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ThreeCs(1, 1, 1).per_instruction(0)
+
+
+class TestClassify:
+    def test_components_sum_to_direct_mapped_total(self):
+        lines = _stream()
+        size, line = 64 * 32, 32
+        breakdown = classify_misses(lines, size, line, associativity=1)
+        direct = int(miss_mask_direct_mapped(lines, size // line).sum())
+        # With the 8-way approximation the sum can differ from the DM
+        # total only through the conflict clamp; for random streams the
+        # clamp shouldn't trigger.
+        assert breakdown.total == direct
+
+    def test_pure_sequential_stream_is_all_compulsory(self):
+        lines = np.arange(100, dtype=np.uint64)
+        breakdown = classify_misses(lines, 256 * 32, 32)
+        assert breakdown.compulsory == 100
+        assert breakdown.capacity == 0
+        assert breakdown.conflict == 0
+
+    def test_conflict_detection(self):
+        # Two lines aliasing in a direct-mapped cache, fitting easily in
+        # 8-way: pure conflict.
+        n_sets = 32
+        lines = np.array([0, n_sets] * 50, dtype=np.uint64)
+        breakdown = classify_misses(lines, n_sets * 32, 32, associativity=1)
+        assert breakdown.compulsory == 2
+        assert breakdown.conflict == 98
+        assert breakdown.capacity == 0
+
+    def test_capacity_detection(self):
+        # Cycle over 64 lines in a 32-line cache: pure capacity (every
+        # access misses even fully associative).
+        lines = np.tile(np.arange(64, dtype=np.uint64), 20)
+        breakdown = classify_misses_exact(lines, 32 * 32, 32, associativity=0)
+        assert breakdown.compulsory == 64
+        assert breakdown.capacity == len(lines) - 64
+        assert breakdown.conflict == 0
+
+    def test_exact_vs_eightway_close(self):
+        lines = _stream(seed=5)
+        approx = classify_misses(lines, 128 * 32, 32)
+        exact = classify_misses_exact(lines, 128 * 32, 32)
+        assert approx.compulsory == exact.compulsory
+        # 8-way approximates fully-associative within a few percent on
+        # random streams.
+        assert approx.capacity == pytest.approx(exact.capacity, rel=0.1)
+
+    def test_larger_cache_fewer_capacity_misses(self):
+        lines = _stream(seed=9, span=600)
+        small = classify_misses(lines, 64 * 32, 32)
+        large = classify_misses(lines, 512 * 32, 32)
+        assert large.capacity < small.capacity

@@ -1,0 +1,70 @@
+"""Unit tests for cache geometry and statistics."""
+
+import pytest
+
+from repro.caches.base import CacheGeometry, CacheStats
+
+
+class TestCacheGeometry:
+    def test_derived_quantities(self):
+        geo = CacheGeometry(8192, 32, 2)
+        assert geo.n_lines == 256
+        assert geo.ways == 2
+        assert geo.n_sets == 128
+        assert geo.offset_bits == 5
+        assert geo.index_bits == 7
+
+    def test_fully_associative(self):
+        geo = CacheGeometry(1024, 32, 0)
+        assert geo.ways == 32
+        assert geo.n_sets == 1
+
+    def test_direct_mapped(self):
+        geo = CacheGeometry(1024, 32, 1)
+        assert geo.n_sets == 32
+
+    def test_line_and_set_extraction(self):
+        geo = CacheGeometry(8192, 32, 1)
+        address = 0x0001_2345
+        assert geo.line_number(address) == address >> 5
+        assert geo.set_index(address) == (address >> 5) & 255
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=1000, line_size=32),
+            dict(size_bytes=1024, line_size=33),
+            dict(size_bytes=1024, line_size=2048),
+            dict(size_bytes=1024, line_size=32, associativity=-1),
+            dict(size_bytes=1024, line_size=32, associativity=64),
+        ],
+    )
+    def test_invalid_geometries(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheGeometry(**kwargs)
+
+    def test_describe(self):
+        assert CacheGeometry(8192, 32, 1).describe() == "8KB/32B/direct-mapped"
+        assert CacheGeometry(65536, 64, 8).describe() == "64KB/64B/8-way"
+        assert "fully-assoc" in CacheGeometry(1024, 32, 0).describe()
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        stats = CacheStats(accesses=100, misses=25)
+        assert stats.hits == 75
+        assert stats.miss_ratio == 0.25
+
+    def test_empty_ratio(self):
+        assert CacheStats().miss_ratio == 0.0
+
+    def test_merge(self):
+        a = CacheStats(10, 2, 1)
+        b = CacheStats(20, 3, 2)
+        merged = a.merge(b)
+        assert (merged.accesses, merged.misses, merged.evictions) == (30, 5, 3)
+
+    def test_reset(self):
+        stats = CacheStats(5, 4, 3)
+        stats.reset()
+        assert stats.accesses == stats.misses == stats.evictions == 0

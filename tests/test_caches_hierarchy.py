@@ -1,0 +1,72 @@
+"""Unit tests for two-level cache simulation."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.caches.hierarchy import CacheHierarchy
+from repro.caches.vectorized import miss_mask_set_associative
+
+
+def _lines(seed=0, n=5000, span=2000):
+    return np.random.default_rng(seed).integers(0, span, n).astype(np.uint64)
+
+
+class TestCacheHierarchy:
+    def test_l1_only(self):
+        hierarchy = CacheHierarchy(CacheGeometry(1024, 32, 1))
+        l1, l2 = hierarchy.simulate(_lines(), base_line_size=32)
+        assert l2 is None
+        assert l1.accesses == 5000
+        assert 0 < l1.misses <= 5000
+
+    def test_l2_sees_full_stream_by_default(self):
+        lines = _lines(seed=1)
+        hierarchy = CacheHierarchy(
+            CacheGeometry(1024, 32, 1), CacheGeometry(16384, 32, 1)
+        )
+        _l1, l2 = hierarchy.simulate(lines, base_line_size=32)
+        standalone = int(miss_mask_set_associative(lines, 512, 1).sum())
+        assert l2.misses == standalone
+        assert l2.accesses == len(lines)
+
+    def test_filtered_l2_sees_only_l1_misses(self):
+        lines = _lines(seed=2)
+        hierarchy = CacheHierarchy(
+            CacheGeometry(1024, 32, 1), CacheGeometry(16384, 32, 1)
+        )
+        l1, l2 = hierarchy.simulate(lines, base_line_size=32, filtered_l2=True)
+        assert l2.accesses == l1.misses
+
+    def test_l2_smaller_line_than_l1_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                CacheGeometry(1024, 64, 1), CacheGeometry(16384, 32, 1)
+            )
+
+    def test_l2_coarser_line(self):
+        hierarchy = CacheHierarchy(
+            CacheGeometry(1024, 32, 1), CacheGeometry(16384, 128, 1)
+        )
+        _l1, l2 = hierarchy.simulate(_lines(seed=3), base_line_size=32)
+        assert l2 is not None and l2.misses > 0
+
+    def test_miss_ratio_and_mpi(self):
+        hierarchy = CacheHierarchy(CacheGeometry(1024, 32, 1))
+        l1, _ = hierarchy.simulate(_lines(seed=4), base_line_size=32)
+        assert l1.miss_ratio == pytest.approx(l1.misses / l1.accesses)
+        assert l1.misses_per_instruction(10_000) == pytest.approx(
+            l1.misses / 10_000
+        )
+        with pytest.raises(ValueError):
+            l1.misses_per_instruction(0)
+
+    def test_bigger_l2_fewer_misses(self):
+        lines = _lines(seed=5, span=4000)
+        small = CacheHierarchy(
+            CacheGeometry(1024, 32, 1), CacheGeometry(8192, 32, 1)
+        ).simulate(lines, 32)[1]
+        large = CacheHierarchy(
+            CacheGeometry(1024, 32, 1), CacheGeometry(65536, 32, 1)
+        ).simulate(lines, 32)[1]
+        assert large.misses < small.misses

@@ -1,0 +1,81 @@
+"""Unit tests for time-sampled simulation."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.caches.sampling import sampled_mpi
+from repro.core.metrics import measure_mpi
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(8192, 32, 1)
+
+
+class TestSampledMpi:
+    def test_full_fraction_approaches_exact(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses(), 32)
+        exact = measure_mpi(runs, GEOMETRY, warmup_fraction=0.3)
+        sampled = sampled_mpi(
+            runs, GEOMETRY, sample_fraction=1.0, window_instructions=30_000
+        )
+        assert sampled.mpi == pytest.approx(exact.mpi, rel=0.25)
+
+    def test_small_sample_still_close(self, medium_trace):
+        # Sample the steady-state region (past the footprint-discovery
+        # phase), as a user of sampling would.
+        addresses = medium_trace.ifetch_addresses()
+        steady = addresses[int(0.3 * len(addresses)):]
+        runs = to_line_runs(steady, 32)
+        exact = measure_mpi(runs, GEOMETRY, warmup_fraction=0.0)
+        sampled = sampled_mpi(
+            runs, GEOMETRY, sample_fraction=0.15, window_instructions=25_000
+        )
+        assert sampled.instructions_simulated < 0.5 * len(steady)
+        assert sampled.mpi == pytest.approx(exact.mpi, rel=0.35)
+
+    def test_warm_fraction_reduces_cold_bias(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses(), 32)
+        cold = sampled_mpi(
+            runs, GEOMETRY, sample_fraction=0.2,
+            window_instructions=20_000, warm_fraction=0.0,
+        )
+        corrected = sampled_mpi(
+            runs, GEOMETRY, sample_fraction=0.2,
+            window_instructions=20_000, warm_fraction=0.5,
+        )
+        # Without warm-up correction, cold-start misses inflate MPI.
+        assert cold.mpi > corrected.mpi
+
+    def test_standard_error_reported(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses(), 32)
+        sampled = sampled_mpi(
+            runs, GEOMETRY, sample_fraction=0.3, window_instructions=15_000
+        )
+        assert sampled.windows >= 2
+        assert sampled.standard_error >= 0.0
+        assert len(sampled.per_window_mpi) == sampled.windows
+
+    def test_empty_stream(self):
+        runs = to_line_runs(np.zeros(0, dtype=np.uint64), 32)
+        sampled = sampled_mpi(runs, GEOMETRY)
+        assert sampled.mpi == 0.0
+        assert sampled.windows == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sample_fraction=0.0),
+            dict(sample_fraction=1.5),
+            dict(window_instructions=0),
+            dict(warm_fraction=1.0),
+        ],
+    )
+    def test_validation(self, medium_trace, kwargs):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:1000], 32)
+        with pytest.raises(ValueError):
+            sampled_mpi(runs, GEOMETRY, **kwargs)
+
+    def test_granularity_check(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:1000], 64)
+        with pytest.raises(ValueError):
+            sampled_mpi(runs, CacheGeometry(8192, 32, 1))

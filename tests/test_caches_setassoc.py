@@ -1,0 +1,123 @@
+"""Unit tests for the sequential set-associative cache."""
+
+import pytest
+
+from repro.caches.base import CacheGeometry, ReplacementPolicy
+from repro.caches.setassoc import SetAssociativeCache
+
+
+def _cache(size=1024, line=32, ways=1, policy=ReplacementPolicy.LRU, seed=0):
+    return SetAssociativeCache(CacheGeometry(size, line, ways), policy, seed)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = _cache()
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_line_different_offsets_hit(self):
+        cache = _cache(line=32)
+        cache.access(0x100)
+        assert cache.access(0x11C) is True  # same 32-byte line
+
+    def test_direct_mapped_conflict(self):
+        cache = _cache(size=1024, line=32, ways=1)  # 32 sets
+        cache.access(0)
+        cache.access(1024)  # same set, different tag: evicts
+        assert cache.access(0) is False
+
+    def test_two_way_avoids_that_conflict(self):
+        cache = _cache(size=1024, line=32, ways=2)
+        cache.access(0)
+        cache.access(1024)
+        assert cache.access(0) is True
+
+    def test_lru_within_set(self):
+        cache = _cache(size=1024, line=32, ways=2)  # 16 sets
+        set_stride = 16 * 32  # same set every stride
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(0)  # refresh
+        cache.access(2 * set_stride)  # evicts set_stride, not 0
+        assert cache.access(0) is True
+        assert cache.access(set_stride) is False
+
+    def test_stats(self):
+        cache = _cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(2048)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+
+
+class TestFifo:
+    def test_fifo_hit_does_not_refresh(self):
+        cache = _cache(size=1024, line=32, ways=2, policy=ReplacementPolicy.FIFO)
+        stride = 16 * 32
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)  # FIFO: does not refresh 0
+        cache.access(2 * stride)  # evicts 0 (oldest by insertion)
+        assert not cache.contains(0)
+        assert cache.contains(stride)
+
+
+class TestRandom:
+    def test_random_is_deterministic_by_seed(self):
+        def misses(seed):
+            cache = _cache(
+                size=256, line=32, ways=4, policy=ReplacementPolicy.RANDOM,
+                seed=seed,
+            )
+            return [cache.access(a * 32) for a in range(50)]
+
+        assert misses(1) == misses(1)
+
+    def test_random_capacity_respected(self):
+        cache = _cache(size=256, line=32, ways=8,
+                       policy=ReplacementPolicy.RANDOM, seed=3)
+        for a in range(0, 20):
+            cache.access(a * 32)
+        assert len(cache.resident_lines()) <= 8
+
+
+class TestSideChannels:
+    def test_contains_has_no_side_effect(self):
+        cache = _cache()
+        assert cache.contains(0x100) is False
+        assert cache.stats.accesses == 0
+        cache.access(0x100)
+        assert cache.contains(0x100) is True
+
+    def test_install_line(self):
+        cache = _cache()
+        cache.install_line(5)
+        assert cache.contains_line(5)
+        assert cache.stats.accesses == 0
+
+    def test_install_line_reports_victim(self):
+        cache = _cache(size=1024, line=32, ways=1)
+        cache.install_line(0)
+        victim = cache.install_line(32)  # 32 sets: line 32 maps to set 0
+        assert victim == 0
+
+    def test_install_existing_line_no_victim(self):
+        cache = _cache()
+        cache.install_line(7)
+        assert cache.install_line(7) is None
+
+    def test_invalidate_all(self):
+        cache = _cache()
+        cache.access(0x100)
+        cache.invalidate_all()
+        assert cache.contains(0x100) is False
+        assert cache.stats.accesses == 1  # stats preserved
+
+    def test_resident_lines(self):
+        cache = _cache(size=1024, line=32, ways=2)
+        cache.access(0)
+        cache.access(4096)
+        resident = set(cache.resident_lines())
+        assert resident == {0, 4096 // 32}

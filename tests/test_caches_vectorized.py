@@ -1,0 +1,168 @@
+"""Unit and cross-validation tests for the vectorized miss counters.
+
+The key property: for any stream, the vectorized counters agree
+reference-for-reference with the sequential object simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.caches.setassoc import SetAssociativeCache
+from repro.caches.vectorized import (
+    compulsory_mask,
+    count_misses,
+    lru_stack_distances,
+    miss_mask_direct_mapped,
+    miss_mask_fully_associative,
+    miss_mask_set_associative,
+    rescale_lines,
+)
+
+
+def _random_lines(n=3000, span=400, seed=0):
+    return np.random.default_rng(seed).integers(0, span, n).astype(np.uint64)
+
+
+def _sequential_mask(lines, n_sets, ways):
+    cache = SetAssociativeCache(CacheGeometry(n_sets * ways * 32, 32, ways))
+    return np.array([not cache.access_line(int(l)) for l in lines])
+
+
+class TestDirectMapped:
+    def test_matches_sequential(self):
+        lines = _random_lines()
+        vec = miss_mask_direct_mapped(lines, 128)
+        seq = _sequential_mask(lines, 128, 1)
+        assert np.array_equal(vec, seq)
+
+    def test_all_first_touches_miss(self):
+        lines = np.arange(100, dtype=np.uint64)
+        assert miss_mask_direct_mapped(lines, 256).all()
+
+    def test_repeat_hits(self):
+        lines = np.array([5, 5, 5], dtype=np.uint64)
+        assert list(miss_mask_direct_mapped(lines, 16)) == [True, False, False]
+
+    def test_conflict_alternation_always_misses(self):
+        lines = np.array([0, 16, 0, 16, 0], dtype=np.uint64)
+        assert miss_mask_direct_mapped(lines, 16).all()
+
+    def test_empty(self):
+        assert len(miss_mask_direct_mapped(np.zeros(0, np.uint64), 16)) == 0
+
+    def test_rejects_non_power_sets(self):
+        with pytest.raises(ValueError):
+            miss_mask_direct_mapped(np.array([0], np.uint64), 100)
+
+
+class TestSetAssociative:
+    @pytest.mark.parametrize("ways", [2, 4, 8])
+    def test_matches_sequential(self, ways):
+        lines = _random_lines(seed=ways)
+        vec = miss_mask_set_associative(lines, 64, ways)
+        seq = _sequential_mask(lines, 64, ways)
+        assert np.array_equal(vec, seq)
+
+    def test_ways_one_delegates_to_direct_mapped(self):
+        lines = _random_lines(seed=11)
+        assert np.array_equal(
+            miss_mask_set_associative(lines, 128, 1),
+            miss_mask_direct_mapped(lines, 128),
+        )
+
+    def test_higher_associativity_never_more_misses_same_size(self):
+        lines = _random_lines(seed=2)
+        total_lines = 256
+        m1 = miss_mask_set_associative(lines, total_lines, 1).sum()
+        m2 = miss_mask_set_associative(lines, total_lines // 2, 2).sum()
+        m8 = miss_mask_set_associative(lines, total_lines // 8, 8).sum()
+        # Not strictly monotone in theory, but overwhelmingly so for
+        # random streams; allow a tiny margin.
+        assert m2 <= m1 * 1.02
+        assert m8 <= m2 * 1.02
+
+
+class TestFullyAssociative:
+    def test_matches_sequential_fa(self):
+        lines = _random_lines(n=1500, span=120, seed=3)
+        vec = miss_mask_fully_associative(lines, 64)
+        cache = SetAssociativeCache(CacheGeometry(64 * 32, 32, 0))
+        seq = np.array([not cache.access_line(int(l)) for l in lines])
+        assert np.array_equal(vec, seq)
+
+    def test_capacity_one(self):
+        lines = np.array([1, 1, 2, 1], dtype=np.uint64)
+        assert list(miss_mask_fully_associative(lines, 1)) == [
+            True, False, True, True,
+        ]
+
+
+class TestStackDistances:
+    def test_known_sequence(self):
+        lines = np.array([1, 2, 3, 1, 2, 2, 3], dtype=np.uint64)
+        distances = lru_stack_distances(lines)
+        assert list(distances) == [-1, -1, -1, 2, 2, 0, 2]
+
+    def test_first_touches_are_negative(self):
+        lines = np.array([10, 20, 30], dtype=np.uint64)
+        assert (lru_stack_distances(lines) == -1).all()
+
+    def test_immediate_repeat_distance_zero(self):
+        lines = np.array([5, 5], dtype=np.uint64)
+        assert lru_stack_distances(lines)[1] == 0
+
+    def test_distances_bounded_by_distinct_count(self):
+        lines = _random_lines(n=2000, span=50, seed=6)
+        distances = lru_stack_distances(lines)
+        assert distances.max() < 50
+
+    def test_miss_mask_consistency_across_capacities(self):
+        # The FA miss masks derived from one distance array must be
+        # monotone: larger capacity -> subset of misses.
+        lines = _random_lines(n=1000, span=80, seed=8)
+        small = miss_mask_fully_associative(lines, 16)
+        large = miss_mask_fully_associative(lines, 64)
+        assert not (large & ~small).any()
+
+
+class TestCompulsory:
+    def test_each_line_once(self):
+        lines = np.array([3, 4, 3, 5, 4], dtype=np.uint64)
+        mask = compulsory_mask(lines)
+        assert list(mask) == [True, True, False, True, False]
+        assert mask.sum() == 3
+
+    def test_empty(self):
+        assert compulsory_mask(np.zeros(0, np.uint64)).sum() == 0
+
+
+class TestCountMisses:
+    def test_consistent_with_mask(self):
+        lines = _random_lines(seed=4)
+        expected = miss_mask_set_associative(lines, 64, 2).sum()
+        assert count_misses(lines, 64 * 2 * 32, 32, 2) == expected
+
+    def test_fully_associative_selector(self):
+        lines = _random_lines(n=500, span=100, seed=5)
+        expected = miss_mask_fully_associative(lines, 32).sum()
+        assert count_misses(lines, 32 * 32, 32, 0) == expected
+
+    def test_rejects_overassociative(self):
+        with pytest.raises(ValueError):
+            count_misses(np.array([0], np.uint64), 64, 32, 4)
+
+
+class TestRescaleLines:
+    def test_coarsen(self):
+        lines = np.array([0, 1, 2, 3], dtype=np.uint64)
+        assert list(rescale_lines(lines, 16, 64)) == [0, 0, 0, 0]
+        assert list(rescale_lines(lines, 16, 32)) == [0, 0, 1, 1]
+
+    def test_same_size_identity(self):
+        lines = np.array([7, 9], dtype=np.uint64)
+        assert list(rescale_lines(lines, 32, 32)) == [7, 9]
+
+    def test_refine_rejected(self):
+        with pytest.raises(ValueError):
+            rescale_lines(np.array([0], np.uint64), 64, 32)

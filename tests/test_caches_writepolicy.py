@@ -1,0 +1,87 @@
+"""Unit tests for the write-policy data-cache models."""
+
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.caches.writepolicy import DataCache, WritePolicy
+
+GEOMETRY = CacheGeometry(1024, 32, 1)
+
+
+class TestWriteThrough:
+    def test_every_store_writes_memory(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_THROUGH)
+        for i in range(10):
+            cache.store(0x100)
+        assert cache.stats.memory_writes == 10
+        assert cache.stats.writebacks == 0
+
+    def test_store_does_not_allocate(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_THROUGH)
+        cache.store(0x100)
+        assert cache.load(0x100) is False  # still a load miss
+
+    def test_store_hits_after_load(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_THROUGH)
+        cache.load(0x100)
+        assert cache.store(0x104) is True
+
+    def test_no_dirty_lines(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_THROUGH)
+        cache.load(0x100)
+        cache.store(0x100)
+        assert cache.dirty_lines == 0
+
+
+class TestWriteBack:
+    def test_store_allocates_and_dirties(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_BACK)
+        assert cache.store(0x100) is False
+        assert cache.dirty_lines == 1
+        assert cache.load(0x100) is True
+        assert cache.stats.memory_writes == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_BACK)  # 32 sets
+        cache.store(0)           # line 0, set 0, dirty
+        cache.load(1024)         # line 32, set 0: evicts dirty line 0
+        assert cache.stats.writebacks == 1
+        assert cache.dirty_lines == 0
+
+    def test_clean_eviction_is_silent(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_BACK)
+        cache.load(0)
+        cache.load(1024)
+        assert cache.stats.writebacks == 0
+
+    def test_write_traffic_comparison(self, medium_trace):
+        """The classic result: write-back sends (much) less write
+        traffic to memory than write-through on reusing workloads."""
+        from repro.trace.record import RefKind
+
+        geometry = CacheGeometry(65536, 32, 1)
+        through = DataCache(geometry, WritePolicy.WRITE_THROUGH)
+        back = DataCache(geometry, WritePolicy.WRITE_BACK)
+        kinds = medium_trace.kinds
+        addresses = medium_trace.addresses
+        for i in range(80_000):
+            kind = kinds[i]
+            address = int(addresses[i])
+            if kind == RefKind.LOAD:
+                through.load(address)
+                back.load(address)
+            elif kind == RefKind.STORE:
+                through.store(address)
+                back.store(address)
+        assert (
+            back.stats.memory_write_traffic
+            < 0.7 * through.stats.memory_write_traffic
+        )
+
+    def test_stats_ratios(self):
+        cache = DataCache(GEOMETRY, WritePolicy.WRITE_BACK)
+        cache.load(0)
+        cache.load(0)
+        assert cache.stats.load_miss_ratio == pytest.approx(0.5)
+        empty = DataCache(GEOMETRY)
+        assert empty.stats.load_miss_ratio == 0.0

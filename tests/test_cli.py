@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "groff" in out
+        assert "ibs-mach3" in out
+        assert "table4" in out
+        assert "ext_prefetch" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["--instructions", "20000", "experiment", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_evaluate(self, capsys):
+        code = main(
+            [
+                "--instructions", "30000",
+                "evaluate", "gcc",
+                "--config", "high-performance",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPIinstr" in out
+        assert "gcc@mach3" in out
+
+    def test_evaluate_mechanism(self, capsys):
+        code = main(
+            [
+                "--instructions", "30000",
+                "evaluate", "nroff", "--mechanism", "prefetch",
+            ]
+        )
+        assert code == 0
+        assert "prefetch" in capsys.readouterr().out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "t.npz"
+        code = main(
+            [
+                "--instructions", "20000",
+                "trace", "eqntott", "--os", "spec92",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.trace.io import load_trace
+
+        trace = load_trace(out_path)
+        assert trace.instruction_count == 20000
+
+
+class TestCliReportExtensions:
+    def test_report_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report", "--extensions"])
+        assert args.extensions is True
+        args = build_parser().parse_args(["report"])
+        assert args.extensions is False

@@ -1,0 +1,63 @@
+"""Unit tests for the Mulder-style area model."""
+
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.core.area import (
+    area_per_byte,
+    cache_area_rbe,
+    fits_budget,
+    tag_bits,
+)
+
+
+class TestTagBits:
+    def test_widths(self):
+        # 8 KB DM, 32 B lines: 5 offset + 8 index -> 19 tag bits.
+        assert tag_bits(CacheGeometry(8192, 32, 1)) == 19
+        # Fully associative: no index bits.
+        assert tag_bits(CacheGeometry(1024, 32, 0)) == 27
+
+
+class TestCacheArea:
+    def test_paper_quoted_line_size_saving(self):
+        """The paper: 'The Mulder area model predicts a 10% reduction in
+        area when moving from a 16-byte to a 64-byte line (8-KB,
+        direct-mapped cache)'."""
+        a16 = cache_area_rbe(CacheGeometry(8192, 16, 1))
+        a64 = cache_area_rbe(CacheGeometry(8192, 64, 1))
+        saving = 1 - a64 / a16
+        assert saving == pytest.approx(0.10, abs=0.02)
+
+    def test_area_grows_with_size(self):
+        areas = [
+            cache_area_rbe(CacheGeometry(size, 32, 1))
+            for size in (4096, 8192, 16384, 65536)
+        ]
+        assert areas == sorted(areas)
+
+    def test_associativity_costs_area(self):
+        dm = cache_area_rbe(CacheGeometry(8192, 32, 1))
+        eight = cache_area_rbe(CacheGeometry(8192, 32, 8))
+        assert eight > dm
+
+    def test_longer_lines_cheaper_per_byte(self):
+        short = area_per_byte(CacheGeometry(8192, 16, 1))
+        long_ = area_per_byte(CacheGeometry(8192, 128, 1))
+        assert long_ < short
+
+    def test_data_dominates_large_caches(self):
+        # Per-byte cost approaches the raw SRAM cost as caches grow.
+        from repro.core.area import SRAM_BIT_RBE
+
+        big = area_per_byte(CacheGeometry(1 << 20, 64, 1))
+        assert big == pytest.approx(8 * SRAM_BIT_RBE, rel=0.15)
+
+
+class TestFitsBudget:
+    def test_fits(self):
+        l1 = CacheGeometry(8192, 32, 1)
+        l2 = CacheGeometry(65536, 64, 8)
+        total = cache_area_rbe(l1) + cache_area_rbe(l2)
+        assert fits_budget([l1, l2], total + 1)
+        assert not fits_budget([l1, l2], total - 1)

@@ -1,0 +1,76 @@
+"""Unit tests for memory-system configurations."""
+
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.core.config import BASELINE_L1, MemorySystemConfig
+from repro.fetch.timing import L1_L2_INTERFACE, MemoryTiming
+
+
+class TestBaselines:
+    def test_economy(self):
+        config = MemorySystemConfig.economy()
+        assert config.l1 == BASELINE_L1
+        assert config.memory.latency == 30
+        assert config.memory.bytes_per_cycle == 4
+        assert config.l1_miss_penalty == 37  # 30 + 8 - 1
+
+    def test_high_performance(self):
+        config = MemorySystemConfig.high_performance()
+        assert config.memory.latency == 12
+        assert config.l1_miss_penalty == 15  # 12 + 4 - 1
+
+    def test_baseline_l1_is_paper_reference(self):
+        assert BASELINE_L1.size_bytes == 8192
+        assert BASELINE_L1.line_size == 32
+        assert BASELINE_L1.associativity == 1
+
+
+class TestWithL2:
+    def test_interface_defaults_on_chip(self):
+        config = MemorySystemConfig.economy().with_l2(
+            CacheGeometry(65536, 64, 8)
+        )
+        assert config.effective_l1_interface == L1_L2_INTERFACE
+        assert config.l1_miss_penalty == 7  # 6 + 2 - 1
+
+    def test_l2_miss_penalty_uses_memory(self):
+        config = MemorySystemConfig.economy().with_l2(
+            CacheGeometry(65536, 64, 8)
+        )
+        assert config.l2_miss_penalty == 30 + 16 - 1
+
+    def test_no_l2_penalty_raises(self):
+        with pytest.raises(ValueError):
+            MemorySystemConfig.economy().l2_miss_penalty
+
+    def test_name_records_l2(self):
+        config = MemorySystemConfig.economy().with_l2(
+            CacheGeometry(65536, 64, 8)
+        )
+        assert "64KB" in config.name
+
+
+class TestDerivation:
+    def test_with_l1(self):
+        new_l1 = CacheGeometry(8192, 16, 1)
+        config = MemorySystemConfig.economy().with_l1(new_l1)
+        assert config.l1 == new_l1
+        assert config.memory.latency == 30
+
+    def test_with_l1_interface(self):
+        iface = MemoryTiming(6, 32)
+        config = MemorySystemConfig.economy().with_l1_interface(iface)
+        assert config.effective_l1_interface == iface
+
+    def test_describe_mentions_everything(self):
+        config = MemorySystemConfig.high_performance().with_l2(
+            CacheGeometry(32768, 32, 2)
+        )
+        text = config.describe()
+        assert "L1" in text and "L2" in text and "memory" in text
+
+    def test_frozen(self):
+        config = MemorySystemConfig.economy()
+        with pytest.raises(AttributeError):
+            config.name = "other"

@@ -1,0 +1,47 @@
+"""Unit tests for the CPI model."""
+
+import pytest
+
+from repro.core.cpi import CpiBreakdown, cpi_instr
+
+
+class TestCpiInstr:
+    def test_factored_model(self):
+        assert cpi_instr(0.0479, 7) == pytest.approx(0.3353)
+
+    def test_zero_miss_rate(self):
+        assert cpi_instr(0.0, 100) == 0.0
+
+    @pytest.mark.parametrize("mpi,cpm", [(-0.1, 5), (0.1, -5)])
+    def test_rejects_negative(self, mpi, cpm):
+        with pytest.raises(ValueError):
+            cpi_instr(mpi, cpm)
+
+
+class TestCpiBreakdown:
+    def test_totals(self):
+        breakdown = CpiBreakdown(
+            instr_l1=0.3, instr_l2=0.2, data=0.1, write=0.05, tlb=0.05
+        )
+        assert breakdown.cpi_instr == pytest.approx(0.5)
+        assert breakdown.memory_cpi == pytest.approx(0.7)
+        assert breakdown.total == pytest.approx(1.7)
+
+    def test_defaults(self):
+        breakdown = CpiBreakdown()
+        assert breakdown.total == 1.0
+        assert breakdown.memory_cpi == 0.0
+
+    def test_scaled(self):
+        breakdown = CpiBreakdown(instr_l1=0.4, data=0.2)
+        half = breakdown.scaled(0.5)
+        assert half.instr_l1 == pytest.approx(0.2)
+        assert half.data == pytest.approx(0.1)
+        assert half.base == 1.0
+
+    def test_dual_issue_interpretation(self):
+        """The paper: a dual-issue machine has base CPI 0.5, making the
+        0.18 instruction-fetch floor proportionally worse."""
+        single = CpiBreakdown(instr_l1=0.18)
+        dual = CpiBreakdown(instr_l1=0.18, base=0.5)
+        assert dual.cpi_instr / dual.total > single.cpi_instr / single.total

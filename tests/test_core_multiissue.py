@@ -1,0 +1,47 @@
+"""Unit tests for the multi-issue projection."""
+
+import pytest
+
+from repro.core.multiissue import IssueProjection, project_issue_widths
+
+
+class TestIssueProjection:
+    def test_paper_numbers(self):
+        """The paper: a 0.18 CPIinstr floor is acceptable single-issue,
+        considerable for dual/quad-issue (base CPI 0.50 / 0.25)."""
+        single, dual, quad = project_issue_widths(0.18, (1, 2, 4))
+        assert single.base_cpi == 1.0
+        assert dual.base_cpi == 0.5
+        assert quad.base_cpi == 0.25
+        assert single.fetch_stall_fraction == pytest.approx(0.18 / 1.18)
+        assert quad.fetch_stall_fraction == pytest.approx(0.18 / 0.43)
+        # Quad-issue spends over 40% of its time waiting on fetch.
+        assert quad.fetch_stall_fraction > 0.40
+
+    def test_ipc_and_efficiency(self):
+        projection = IssueProjection(issue_width=4, cpi_instr=0.25)
+        assert projection.total_cpi == pytest.approx(0.5)
+        assert projection.ipc == pytest.approx(2.0)
+        assert projection.efficiency == pytest.approx(0.5)
+
+    def test_zero_fetch_cpi_is_ideal(self):
+        projection = IssueProjection(issue_width=8, cpi_instr=0.0)
+        assert projection.ipc == pytest.approx(8.0)
+        assert projection.efficiency == pytest.approx(1.0)
+
+    def test_other_cpi_included(self):
+        projection = IssueProjection(issue_width=2, cpi_instr=0.1,
+                                     other_cpi=0.4)
+        assert projection.total_cpi == pytest.approx(1.0)
+        assert projection.fetch_stall_fraction == pytest.approx(0.1)
+
+    def test_stall_share_grows_with_width(self):
+        projections = project_issue_widths(0.2, (1, 2, 4, 8))
+        shares = [p.fetch_stall_fraction for p in projections]
+        assert shares == sorted(shares)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IssueProjection(issue_width=0, cpi_instr=0.1)
+        with pytest.raises(ValueError):
+            IssueProjection(issue_width=2, cpi_instr=-0.1)

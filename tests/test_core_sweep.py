@@ -1,0 +1,50 @@
+"""Unit tests for the sweep harness."""
+
+import pytest
+
+from repro.core.sweep import SweepResult, sweep
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        result = sweep(
+            {"a": [1, 2], "b": [10, 20]},
+            lambda a, b: a + b,
+        )
+        assert len(result.points) == 4
+        assert result.column("value") == [11, 21, 12, 22]
+
+    def test_mapping_outputs(self):
+        result = sweep(
+            {"x": [1, 2]},
+            lambda x: {"double": 2 * x, "square": x * x},
+        )
+        assert result.column("double") == [2, 4]
+        assert result.column("square") == [1, 4]
+
+    def test_value_errors_skip_points(self):
+        def evaluate(x):
+            if x == 2:
+                raise ValueError("infeasible corner")
+            return x
+
+        result = sweep({"x": [1, 2, 3]}, evaluate)
+        assert result.column("x") == [1, 3]
+
+    def test_where(self):
+        result = sweep({"a": [1, 2], "b": [3, 4]}, lambda a, b: a * b)
+        sub = result.where(a=2)
+        assert len(sub.points) == 2
+        assert all(p["a"] == 2 for p in sub.points)
+
+    def test_best(self):
+        result = sweep({"x": [3, 1, 2]}, lambda x: x * 10)
+        assert result.best("value")["x"] == 1
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult(axes=("x",), points=()).best("value")
+
+    def test_axes_recorded(self):
+        result = sweep({"p": [1], "q": [2]}, lambda p, q: 0)
+        assert result.axes == ("p", "q")

@@ -1,0 +1,53 @@
+"""Unit tests for the shared experiment harness."""
+
+import pytest
+
+from repro.core.config import MemorySystemConfig
+from repro.experiments.common import (
+    ExperimentSettings,
+    suite_cpi_instr,
+    suite_evaluate,
+    suite_runs,
+    suite_traces,
+)
+
+SETTINGS = ExperimentSettings(n_instructions=20_000, seed=0)
+
+
+class TestExperimentSettings:
+    def test_defaults(self):
+        settings = ExperimentSettings()
+        assert settings.n_instructions >= 100_000
+        assert 0.0 <= settings.warmup_fraction < 1.0
+
+    def test_scaled(self):
+        scaled = SETTINGS.scaled(0.5)
+        assert scaled.n_instructions == 10_000
+        assert scaled.seed == SETTINGS.seed
+
+    def test_scaled_floor(self):
+        scaled = SETTINGS.scaled(1e-9)
+        assert scaled.n_instructions == 10_000
+
+
+class TestSuiteHelpers:
+    def test_suite_traces_cached(self):
+        first = suite_traces("specint92", SETTINGS)
+        second = suite_traces("specint92", SETTINGS)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_suite_runs_line_size(self):
+        runs = suite_runs("specint92", 64, SETTINGS)
+        assert all(r.line_size == 64 for r in runs)
+
+    def test_suite_evaluate_shape(self):
+        config = MemorySystemConfig.high_performance()
+        results = suite_evaluate("specint92", config, settings=SETTINGS)
+        assert len(results) == 6
+        assert all(r.cpi_l2 == 0.0 for r in results)
+
+    def test_suite_cpi_instr_means(self):
+        config = MemorySystemConfig.high_performance()
+        l1, l2 = suite_cpi_instr("specint92", config, settings=SETTINGS)
+        assert l1 > 0
+        assert l2 == 0.0

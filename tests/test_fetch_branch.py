@@ -1,0 +1,97 @@
+"""Unit tests for the branch-target buffer."""
+
+import numpy as np
+import pytest
+
+from repro.fetch.branch import BranchResult, BranchTargetBuffer
+
+
+def _addresses(pcs):
+    return np.asarray(pcs, dtype=np.uint64)
+
+
+class TestBranchTargetBuffer:
+    def test_sequential_stream_never_mispredicts(self):
+        btb = BranchTargetBuffer(64)
+        result = btb.simulate(_addresses(range(0, 400, 4)))
+        assert result.taken == 0
+        assert result.mispredictions == 0
+
+    def test_first_taken_mispredicts_then_learns(self):
+        # A loop: 0,4,8 -> back to 0, repeatedly.  The back-edge at 8
+        # mispredicts once, then predicts correctly.
+        pcs = [0, 4, 8] * 20
+        result = BranchTargetBuffer(64).simulate(_addresses(pcs))
+        assert result.taken == 19
+        assert result.mispredictions == 1
+
+    def test_biased_branch_tolerated_by_hysteresis(self):
+        # Taken 3x, fall through once, taken 3x...: the 2-bit counter
+        # absorbs the single contrary outcome without forgetting.
+        pcs = []
+        for _ in range(10):
+            pcs += [0, 4, 8, 0, 4, 8, 0, 4, 8, 0, 4, 8, 12, 16]
+            # after the fall-through at 8 (to 12), jump back via 16->0
+            # pattern is implied by the next group starting at 0
+        result = BranchTargetBuffer(64).simulate(_addresses(pcs))
+        # Far fewer mispredictions than taken transfers.
+        assert result.mispredictions < result.taken / 2
+
+    def test_target_change_mispredicts_once(self):
+        # Indirect branch: same pc, alternating far targets.
+        pcs = [0, 100, 0, 200, 0, 100, 0, 200] * 5
+        result = BranchTargetBuffer(64).simulate(_addresses(pcs))
+        # Every taken transfer from 0 has a different target than last
+        # time -> all mispredict; transfers back to 0 also jump.
+        assert result.mispredictions >= result.taken // 2
+
+    def test_capacity_bounded(self):
+        btb = BranchTargetBuffer(4)
+        # 8 distinct loops round-robin exceed 4 entries.
+        pcs = []
+        for loop in range(8):
+            base = loop * 1000
+            pcs += [base, base + 4, base]
+        btb.simulate(_addresses(pcs * 3))
+        assert btb.occupancy <= 4
+
+    def test_bigger_btb_helps_loop_working_set(self):
+        # Many loops revisited in round-robin: a BTB holding them all
+        # predicts their back-edges; a tiny one forgets each time.
+        pcs = []
+        for _ in range(10):
+            for loop in range(32):
+                base = loop * 1000
+                pcs += [base, base + 4, base, base + 4, base + 8]
+        small = BranchTargetBuffer(4).simulate(_addresses(pcs))
+        large = BranchTargetBuffer(256).simulate(_addresses(pcs))
+        assert large.mispredictions < small.mispredictions
+
+    def test_skip_excludes_warmup(self):
+        pcs = [0, 4, 8] * 10
+        full = BranchTargetBuffer(64).simulate(_addresses(pcs), skip=0)
+        warm = BranchTargetBuffer(64).simulate(_addresses(pcs), skip=10)
+        assert warm.transitions == full.transitions - 10
+        assert warm.mispredictions <= full.mispredictions
+
+    def test_result_properties(self):
+        result = BranchResult(transitions=100, taken=20, mispredictions=5)
+        assert result.taken_rate == pytest.approx(0.2)
+        assert result.misprediction_rate == pytest.approx(0.05)
+        assert result.cpi_contribution(3.0) == pytest.approx(0.15)
+
+    def test_degenerate(self):
+        assert BranchTargetBuffer(8).simulate(_addresses([0])).transitions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(0)
+
+    def test_ibs_mispredicts_more_than_spec(self, medium_trace, spec_trace):
+        ibs = BranchTargetBuffer(512).simulate(
+            medium_trace.ifetch_addresses()[:80_000]
+        )
+        spec = BranchTargetBuffer(512).simulate(
+            spec_trace.ifetch_addresses()
+        )
+        assert ibs.misprediction_rate > spec.misprediction_rate

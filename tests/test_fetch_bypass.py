@@ -1,0 +1,70 @@
+"""Unit tests for prefetch + bypass buffers."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.bypass import PrefetchBypassEngine
+from repro.fetch.prefetch import PrefetchOnMissEngine
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(1024, 32, 1)
+TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
+
+
+def _runs(addresses):
+    return to_line_runs(np.asarray(addresses, dtype=np.uint64), 32)
+
+
+class TestBypass:
+    def test_miss_stalls_only_until_word(self):
+        engine = PrefetchBypassEngine(GEOMETRY, TIMING, n_prefetch=0)
+        # Miss at offset 0: word arrives with the first 16-byte beat.
+        result = engine.run(_runs([0]), warmup_fraction=0.0)
+        assert result.stall_cycles == 6
+
+    def test_miss_at_line_end_waits_for_second_beat(self):
+        engine = PrefetchBypassEngine(GEOMETRY, TIMING, n_prefetch=0)
+        # Offset 28 is in the second 16-byte beat: 6 + 1 cycles.
+        result = engine.run(_runs([28]), warmup_fraction=0.0)
+        assert result.stall_cycles == 7
+
+    def test_bypass_never_worse_than_stall_for_line(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:60_000], 32)
+        geometry = CacheGeometry(8192, 32, 1)
+        plain = PrefetchOnMissEngine(geometry, TIMING, 1).run(runs)
+        bypass = PrefetchBypassEngine(geometry, TIMING, 1).run(runs)
+        assert bypass.stall_cycles <= plain.stall_cycles
+
+    def test_fetch_outside_buffers_waits_out_refill(self):
+        engine = PrefetchBypassEngine(GEOMETRY, TIMING, n_prefetch=1)
+        # Miss line 0 (burst holds lines 0-1 until cycle 6+4-1=9);
+        # immediately fetch line 16 (outside buffers) -> must wait out
+        # the refill, then take its own miss.
+        runs = _runs([0, 16 * 32])
+        result = engine.run(runs, warmup_fraction=0.0)
+        # First miss: stall 6.  Second access at cycle 7: refill busy
+        # until cycle 9 (wait 3), then miss costs 6 more.
+        assert result.stall_cycles == 6 + 3 + 6
+
+    def test_fetch_from_buffer_during_refill(self):
+        engine = PrefetchBypassEngine(GEOMETRY, TIMING, n_prefetch=1)
+        # Miss line 0, then sequential fetch into prefetched line 1
+        # while it is still arriving: stalls only until its arrival.
+        runs = _runs([0, 32])
+        result = engine.run(runs, warmup_fraction=0.0)
+        # Miss at t=0: stall 6 (word 0), now t=7 after 1 instruction.
+        # Line 1 arrives at t=0+6+4-1=9: wait 2.  Total 8.
+        assert result.stall_cycles == 8
+        assert result.misses == 1
+
+    def test_prefetched_lines_installed_in_cache(self):
+        engine = PrefetchBypassEngine(GEOMETRY, TIMING, n_prefetch=2)
+        engine.run(_runs([0]), warmup_fraction=0.0)
+        assert engine.cache.contains_line(1)
+        assert engine.cache.contains_line(2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PrefetchBypassEngine(GEOMETRY, TIMING, n_prefetch=-2)

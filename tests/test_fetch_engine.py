@@ -1,0 +1,79 @@
+"""Unit tests for the fetch-engine framework and demand fetching."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import DemandFetchEngine, FetchResult
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(1024, 32, 1)
+TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)  # penalty 7 for 32B
+
+
+def _runs(addresses):
+    return to_line_runs(np.asarray(addresses, dtype=np.uint64), 32)
+
+
+class TestDemandFetchEngine:
+    def test_every_miss_costs_full_penalty(self):
+        engine = DemandFetchEngine(GEOMETRY, TIMING)
+        # 3 distinct lines, no reuse: 3 misses x 7 cycles.
+        result = engine.run(_runs([0, 32, 64]), warmup_fraction=0.0)
+        assert result.misses == 3
+        assert result.stall_cycles == 21
+        assert result.instructions == 3
+
+    def test_hits_cost_nothing(self):
+        engine = DemandFetchEngine(GEOMETRY, TIMING)
+        result = engine.run(_runs([0, 4, 8, 0]), warmup_fraction=0.0)
+        # One line, one miss; the revisit after run-break hits.
+        assert result.misses == 1
+        assert result.stall_cycles == 7
+
+    def test_cpi_instr(self):
+        engine = DemandFetchEngine(GEOMETRY, TIMING)
+        result = engine.run(_runs([0, 32, 0, 32]), warmup_fraction=0.0)
+        # 1KB/32B direct-mapped = 32 sets; lines 0,1 do not conflict.
+        assert result.cpi_instr == pytest.approx(2 * 7 / 4)
+
+    def test_warmup_excludes_early_stalls(self):
+        engine = DemandFetchEngine(GEOMETRY, TIMING)
+        addresses = [i * 32 for i in range(10)]
+        result = engine.run(_runs(addresses), warmup_fraction=0.5)
+        assert result.instructions == 5
+        assert result.stall_cycles == 5 * 7
+
+    def test_mpi_equals_vectorized_measurement(self, medium_trace):
+        """The engine's demand miss count must equal the vectorized MPI
+        measurement — same cache, same stream, same convention."""
+        from repro.core.metrics import measure_mpi
+
+        geometry = CacheGeometry(8192, 32, 1)
+        runs = to_line_runs(medium_trace.ifetch_addresses(), 32)
+        engine = DemandFetchEngine(geometry, TIMING)
+        engine_result = engine.run(runs, warmup_fraction=0.3)
+        measured = measure_mpi(runs, geometry, warmup_fraction=0.3)
+        assert engine_result.misses == measured.misses
+        assert engine_result.instructions == measured.instructions
+        assert engine_result.cpi_instr == pytest.approx(
+            measured.cpi_contribution(7)
+        )
+
+    def test_wrong_granularity_rejected(self):
+        engine = DemandFetchEngine(GEOMETRY, TIMING)
+        with pytest.raises(ValueError, match="re-encode"):
+            engine.run(to_line_runs(np.array([0], np.uint64), 16))
+
+
+class TestFetchResult:
+    def test_properties(self):
+        result = FetchResult(instructions=100, stall_cycles=50, misses=10)
+        assert result.cpi_instr == pytest.approx(0.5)
+        assert result.mpi == pytest.approx(0.1)
+
+    def test_empty(self):
+        result = FetchResult(instructions=0, stall_cycles=0, misses=0)
+        assert result.cpi_instr == 0.0
+        assert result.mpi == 0.0

@@ -1,0 +1,73 @@
+"""Unit tests for the Markov (miss-correlation) prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import DemandFetchEngine
+from repro.fetch.markov import MarkovPrefetchEngine
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(1024, 32, 1)
+TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
+
+
+def _runs(addresses):
+    return to_line_runs(np.asarray(addresses, dtype=np.uint64), 32)
+
+
+class TestMarkovPrefetchEngine:
+    def test_learns_repeating_miss_pattern(self):
+        engine = MarkovPrefetchEngine(GEOMETRY, TIMING, n_buffers=4)
+        # Two conflicting pairs force a repeating miss sequence
+        # A -> B -> A -> B...; after one round trip the predictor
+        # prefetches the successor.
+        stride = 32 * 32
+        a, b = 0, stride
+        addresses = [a, b] * 30
+        result = engine.run(_runs(addresses), warmup_fraction=0.0)
+        assert engine.buffer_hits > 0
+        demand = DemandFetchEngine(GEOMETRY, TIMING).run(
+            _runs(addresses), warmup_fraction=0.0
+        )
+        assert result.stall_cycles < demand.stall_cycles
+
+    def test_no_predictions_without_history(self):
+        engine = MarkovPrefetchEngine(GEOMETRY, TIMING)
+        engine.run(_runs([0]), warmup_fraction=0.0)
+        assert engine.predictions_made == 0
+
+    def test_hybrid_adds_sequential(self):
+        engine = MarkovPrefetchEngine(GEOMETRY, TIMING, hybrid=True)
+        engine.run(_runs([0]), warmup_fraction=0.0)
+        # With no correlation history, hybrid still prefetches line+1.
+        assert engine.predictions_made == 1
+
+    def test_hybrid_helps_on_real_traces(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:60_000], 32)
+        geometry = CacheGeometry(8192, 32, 1)
+        markov = MarkovPrefetchEngine(geometry, TIMING).run(runs)
+        hybrid = MarkovPrefetchEngine(geometry, TIMING, hybrid=True).run(runs)
+        demand = DemandFetchEngine(geometry, TIMING).run(runs)
+        assert markov.stall_cycles < demand.stall_cycles
+        assert hybrid.stall_cycles < markov.stall_cycles
+
+    def test_table_is_bounded(self):
+        engine = MarkovPrefetchEngine(GEOMETRY, TIMING, table_size=4)
+        # A long non-repeating miss stream cannot grow the table past 4.
+        addresses = [i * 32 * 32 for i in range(40)]
+        engine.run(_runs(addresses), warmup_fraction=0.0)
+        assert len(engine._table) <= 4
+
+    def test_buffer_is_bounded(self):
+        engine = MarkovPrefetchEngine(GEOMETRY, TIMING, n_buffers=2, hybrid=True)
+        addresses = [i * 32 * 32 for i in range(40)]
+        engine.run(_runs(addresses), warmup_fraction=0.0)
+        assert len(engine._buffer) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovPrefetchEngine(GEOMETRY, TIMING, table_size=0)
+        with pytest.raises(ValueError):
+            MarkovPrefetchEngine(GEOMETRY, TIMING, n_buffers=0)

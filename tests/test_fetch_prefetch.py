@@ -1,0 +1,59 @@
+"""Unit tests for sequential prefetch-on-miss."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import DemandFetchEngine
+from repro.fetch.prefetch import PrefetchOnMissEngine
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(1024, 32, 1)
+TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
+
+
+def _runs(addresses):
+    return to_line_runs(np.asarray(addresses, dtype=np.uint64), 32)
+
+
+class TestPrefetchOnMiss:
+    def test_zero_prefetch_equals_demand(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:50_000], 32)
+        demand = DemandFetchEngine(GEOMETRY, TIMING).run(runs)
+        prefetch = PrefetchOnMissEngine(GEOMETRY, TIMING, n_prefetch=0).run(runs)
+        assert demand.stall_cycles == prefetch.stall_cycles
+        assert demand.misses == prefetch.misses
+
+    def test_prefetch_hides_sequential_misses(self):
+        engine = PrefetchOnMissEngine(GEOMETRY, TIMING, n_prefetch=1)
+        # Sequential walk over 4 lines: misses on lines 0 and 2 only.
+        result = engine.run(_runs([0, 32, 64, 96]), warmup_fraction=0.0)
+        assert result.misses == 2
+
+    def test_penalty_includes_prefetched_lines(self):
+        engine = PrefetchOnMissEngine(GEOMETRY, TIMING, n_prefetch=3)
+        result = engine.run(_runs([0]), warmup_fraction=0.0)
+        # 4 lines x 32 B = 128 B at 16 B/cyc: 6 + 8 - 1 = 13 cycles.
+        assert result.stall_cycles == 13
+
+    def test_prefetch_can_pollute(self):
+        # A prefetched line may evict a useful resident line.
+        tiny = CacheGeometry(64, 32, 1)  # 2 sets
+        engine = PrefetchOnMissEngine(tiny, TIMING, n_prefetch=1)
+        # Access line 0 (prefetch line 1 -> set 1), then line 3 (set 1,
+        # evicts line 1... ), then the pathological pattern:
+        result = engine.run(_runs([0, 96, 32, 96]), warmup_fraction=0.0)
+        assert result.misses >= 2
+
+    def test_rejects_negative_prefetch(self):
+        with pytest.raises(ValueError):
+            PrefetchOnMissEngine(GEOMETRY, TIMING, n_prefetch=-1)
+
+    def test_paper_trend_prefetch_helps_small_lines(self, medium_trace):
+        """Table 6's trend: with 16 B lines, N=1 prefetch beats N=0."""
+        geometry = CacheGeometry(8192, 16, 1)
+        runs = to_line_runs(medium_trace.ifetch_addresses(), 16)
+        n0 = PrefetchOnMissEngine(geometry, TIMING, 0).run(runs).cpi_instr
+        n1 = PrefetchOnMissEngine(geometry, TIMING, 1).run(runs).cpi_instr
+        assert n1 < n0

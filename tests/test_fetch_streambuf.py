@@ -1,0 +1,110 @@
+"""Unit tests for the pipelined stream-buffer engine."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.streambuf import StreamBufferEngine
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(1024, 16, 1)
+TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
+
+
+def _runs(addresses, line_size=16):
+    return to_line_runs(np.asarray(addresses, dtype=np.uint64), line_size)
+
+
+class TestStreamBuffer:
+    def test_line_size_must_match_bandwidth(self):
+        with pytest.raises(ValueError, match="line size"):
+            StreamBufferEngine(CacheGeometry(1024, 32, 1), TIMING)
+
+    def test_miss_costs_latency_only(self):
+        engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=0)
+        result = engine.run(_runs([0]), warmup_fraction=0.0)
+        assert result.stall_cycles == TIMING.latency
+
+    def test_sequential_stream_mostly_absorbed(self):
+        engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=4)
+        # Sequential walk within the prefetch depth: after the first
+        # miss, prefetched lines arrive 1/cycle while the processor
+        # consumes 4 instructions per line.
+        addresses = list(range(0, 16 * 5, 4))
+        result = engine.run(_runs(addresses), warmup_fraction=0.0)
+        # Only the first access misses in both cache and buffer.
+        assert result.misses == 1
+        # Line i (1-based among prefetches) arrives at 1+i+latency;
+        # the processor reaches it at cycle ~6+4i: small or no stalls.
+        assert result.stall_cycles < 6 + 4 * 4
+
+    def test_buffered_line_hit_moves_to_cache(self):
+        engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=2)
+        engine.run(_runs([0, 16]), warmup_fraction=0.0)
+        assert engine.cache.contains_line(1)
+        assert 1 not in engine.buffered_lines
+
+    def test_miss_in_both_cancels_inflight_prefetches(self):
+        engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=4)
+        # Miss line 0 (prefetch 1-4 issued), then immediately jump far:
+        # in-flight prefetches (arrival > now) are cancelled.
+        result = engine.run(_runs([0, 1024]), warmup_fraction=0.0)
+        assert result.misses == 2
+        buffered = engine.buffered_lines
+        assert all(line >= 1024 // 16 for line in buffered)
+
+    def test_new_miss_restarts_stream(self):
+        # The stream buffer follows one stream: a miss in both cache
+        # and buffer restarts prefetching at the new address, and the
+        # bounded capacity flushes the previous stream's lines.
+        engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=2)
+        runs = _runs([0] * 61 + [4096])
+        result = engine.run(runs, warmup_fraction=0.0)
+        assert result.misses == 2
+        assert set(engine.buffered_lines) == {
+            4096 // 16 + 1, 4096 // 16 + 2,
+        }
+
+    def test_capacity_bounds_buffer(self):
+        engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=3)
+        engine.run(_runs([0]), warmup_fraction=0.0)
+        assert len(engine.buffered_lines) <= 3
+
+    def test_deeper_buffer_never_hurts_sequential_code(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:60_000], 16)
+        geometry = CacheGeometry(8192, 16, 1)
+        results = {
+            n: StreamBufferEngine(geometry, TIMING, n_lines=n)
+            .run(runs)
+            .cpi_instr
+            for n in (0, 1, 3, 6)
+        }
+        assert results[1] < results[0]
+        assert results[3] < results[1]
+        assert results[6] <= results[3] * 1.02
+
+    def test_refill_on_use_extension_helps_small_buffers(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:60_000], 16)
+        geometry = CacheGeometry(8192, 16, 1)
+        base = StreamBufferEngine(geometry, TIMING, n_lines=2).run(runs)
+        extended = StreamBufferEngine(
+            geometry, TIMING, n_lines=2, refill_on_use=True
+        ).run(runs)
+        assert extended.stall_cycles <= base.stall_cycles
+
+    def test_move_penalty(self):
+        no_penalty = StreamBufferEngine(GEOMETRY, TIMING, n_lines=2)
+        with_penalty = StreamBufferEngine(
+            GEOMETRY, TIMING, n_lines=2, move_penalty=1
+        )
+        runs = _runs(list(range(0, 16 * 4, 4)))
+        a = no_penalty.run(runs, warmup_fraction=0.0).stall_cycles
+        b = with_penalty.run(runs, warmup_fraction=0.0).stall_cycles
+        assert b >= a
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StreamBufferEngine(GEOMETRY, TIMING, n_lines=-1)
+        with pytest.raises(ValueError):
+            StreamBufferEngine(GEOMETRY, TIMING, move_penalty=-1)

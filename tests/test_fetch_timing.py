@@ -1,0 +1,76 @@
+"""Unit tests for the latency/bandwidth timing model."""
+
+import pytest
+
+from repro.fetch.timing import (
+    ECONOMY_MEMORY,
+    HIGH_PERF_MEMORY,
+    L1_L2_INTERFACE,
+    MemoryTiming,
+)
+
+
+class TestFillPenalty:
+    def test_paper_example(self):
+        """Table 5's worked example: 12-cycle latency, 8 B/cycle,
+        32-byte line -> 12+1+1+1 = 15 cycles."""
+        timing = MemoryTiming(latency=12, bytes_per_cycle=8)
+        assert timing.fill_penalty(32) == 15
+
+    def test_single_beat(self):
+        timing = MemoryTiming(latency=6, bytes_per_cycle=16)
+        assert timing.fill_penalty(16) == 6
+        assert timing.fill_penalty(8) == 6  # partial beat still one beat
+
+    def test_economy_32_byte_line(self):
+        # 30 + 32/4 - 1 = 37 cycles.
+        assert ECONOMY_MEMORY.fill_penalty(32) == 37
+
+    def test_high_perf_32_byte_line(self):
+        assert HIGH_PERF_MEMORY.fill_penalty(32) == 15
+
+    def test_l1_l2_interface(self):
+        # 6 + 32/16 - 1 = 7.
+        assert L1_L2_INTERFACE.fill_penalty(32) == 7
+
+    def test_monotone_in_bytes(self):
+        timing = MemoryTiming(latency=5, bytes_per_cycle=8)
+        penalties = [timing.fill_penalty(n) for n in (8, 16, 64, 256)]
+        assert penalties == sorted(penalties)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError):
+            MemoryTiming(6, 16).fill_penalty(0)
+
+
+class TestCyclesUntilByte:
+    def test_first_chunk(self):
+        timing = MemoryTiming(latency=6, bytes_per_cycle=16)
+        assert timing.cycles_until_byte(0) == 6
+        assert timing.cycles_until_byte(15) == 6
+
+    def test_later_chunks(self):
+        timing = MemoryTiming(latency=6, bytes_per_cycle=16)
+        assert timing.cycles_until_byte(16) == 7
+        assert timing.cycles_until_byte(63) == 9
+
+    def test_consistency_with_fill_penalty(self):
+        timing = MemoryTiming(latency=10, bytes_per_cycle=4)
+        # The last byte of an n-byte transfer arrives exactly at the
+        # fill penalty.
+        for n in (4, 8, 32, 128):
+            assert timing.cycles_until_byte(n - 1) == timing.fill_penalty(n)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemoryTiming(6, 16).cycles_until_byte(-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(latency=0, bytes_per_cycle=4),
+        dict(latency=5, bytes_per_cycle=0),
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            MemoryTiming(**kwargs)

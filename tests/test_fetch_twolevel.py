@@ -1,0 +1,112 @@
+"""Unit tests for the integrated two-level fetch engine."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.timing import MemoryTiming
+from repro.fetch.twolevel import TwoLevelDemandEngine
+from repro.trace.record import Component, RefKind
+from repro.trace.trace import Trace
+
+L1 = CacheGeometry(1024, 32, 1)
+L2 = CacheGeometry(8192, 64, 2)
+INTERFACE = MemoryTiming(6, 16)   # L1 fill: 6+2-1 = 7
+MEMORY = MemoryTiming(30, 4)      # L2 fill: 30+16-1 = 45
+
+
+def _trace(addresses, kinds=None):
+    n = len(addresses)
+    kinds = kinds if kinds is not None else [RefKind.IFETCH] * n
+    return Trace(
+        np.asarray(addresses, dtype=np.uint64),
+        np.asarray(kinds, dtype=np.uint8),
+        np.full(n, Component.USER, dtype=np.uint8),
+    )
+
+
+class TestTwoLevelDemandEngine:
+    def _engine(self, **kwargs):
+        return TwoLevelDemandEngine(L1, L2, INTERFACE, MEMORY, **kwargs)
+
+    def test_cold_miss_pays_memory(self):
+        result = self._engine().run(_trace([0]), warmup_fraction=0.0)
+        assert result.l1_misses == 1
+        assert result.l2_misses == 1
+        assert result.stall_cycles == 45
+
+    def test_l2_hit_pays_interface(self):
+        # Touch line 0, evict it from L1 via a conflict, touch it again:
+        # second L1 miss hits in the L2.
+        conflict = 1024  # same L1 set, different L1 tag
+        result = self._engine().run(
+            _trace([0, conflict, 0]), warmup_fraction=0.0
+        )
+        assert result.l1_misses == 3
+        # Lines 0 and 1024 share an L2 64-byte line? 0>>6=0, 1024>>6=16:
+        # distinct L2 lines -> 2 L2 misses, then the revisit hits L2.
+        assert result.l2_misses == 2
+        assert result.stall_cycles == 45 + 45 + 7
+
+    def test_sequential_within_line_hits(self):
+        result = self._engine().run(
+            _trace([0, 4, 8, 12]), warmup_fraction=0.0
+        )
+        assert result.l1_misses == 1
+        assert result.instructions == 4
+
+    def test_shared_data_can_evict_instruction_lines(self):
+        # Fill the L2 set of instruction line 0 with data lines between
+        # two instruction visits; with shared_data the revisit misses
+        # in L2, without it it hits.
+        l2_sets = L2.n_sets  # 64 sets of 64B
+        conflicting_data = [
+            (s * l2_sets * 64) for s in range(1, 3)
+        ]  # same L2 set 0, 2 ways -> evicts line 0
+        addresses = [0, 1024]  # instr: L1 set conflict to force revisit miss
+        kinds = [RefKind.IFETCH, RefKind.IFETCH]
+        for address in conflicting_data:
+            addresses.append(address)
+            kinds.append(RefKind.LOAD)
+        addresses.append(0)
+        kinds.append(RefKind.IFETCH)
+
+        without = self._engine(shared_data=False).run(
+            _trace(addresses, kinds), warmup_fraction=0.0
+        )
+        with_data = self._engine(shared_data=True).run(
+            _trace(addresses, kinds), warmup_fraction=0.0
+        )
+        assert with_data.l2_misses > without.l2_misses
+        assert with_data.stall_cycles > without.stall_cycles
+
+    def test_shared_data_never_reduces_fetch_stalls(self, medium_trace):
+        engine_plain = TwoLevelDemandEngine(
+            CacheGeometry(8192, 32, 1), CacheGeometry(65536, 64, 8),
+            INTERFACE, MEMORY, shared_data=False,
+        )
+        engine_shared = TwoLevelDemandEngine(
+            CacheGeometry(8192, 32, 1), CacheGeometry(65536, 64, 8),
+            INTERFACE, MEMORY, shared_data=True,
+        )
+        trace = medium_trace[:150_000]
+        plain = engine_plain.run(trace)
+        shared = engine_shared.run(trace)
+        assert shared.stall_cycles >= plain.stall_cycles
+
+    def test_warmup_excluded(self):
+        addresses = [i * 32 for i in range(10)]
+        result = self._engine().run(_trace(addresses), warmup_fraction=0.5)
+        assert result.instructions == 5
+        assert result.l1_misses == 5
+
+    def test_local_miss_ratio(self):
+        result = self._engine().run(_trace([0, 1024, 0]), warmup_fraction=0.0)
+        assert result.l2_local_miss_ratio == pytest.approx(2 / 3)
+
+    def test_rejects_smaller_l2_line(self):
+        with pytest.raises(ValueError):
+            TwoLevelDemandEngine(
+                CacheGeometry(1024, 64, 1), CacheGeometry(8192, 32, 1),
+                INTERFACE, MEMORY,
+            )

@@ -1,0 +1,62 @@
+"""Unit tests for the victim-cache engine."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.fetch.engine import DemandFetchEngine
+from repro.fetch.timing import MemoryTiming
+from repro.fetch.victim import VictimCacheEngine
+from repro.trace.rle import to_line_runs
+
+GEOMETRY = CacheGeometry(1024, 32, 1)  # 32 sets
+TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
+
+
+def _runs(addresses):
+    return to_line_runs(np.asarray(addresses, dtype=np.uint64), 32)
+
+
+class TestVictimCacheEngine:
+    def test_requires_direct_mapped(self):
+        with pytest.raises(ValueError, match="direct-mapped"):
+            VictimCacheEngine(CacheGeometry(1024, 32, 2), TIMING)
+
+    def test_conflict_pair_resolved_by_victims(self):
+        engine = VictimCacheEngine(GEOMETRY, TIMING, n_victims=2)
+        # Lines 0 and 32 conflict (32 sets apart); alternating access
+        # after the first two misses should hit the victim buffer.
+        addresses = [0, 32 * 32] * 20
+        result = engine.run(_runs([a for a in addresses]), warmup_fraction=0.0)
+        assert result.misses == 2
+        assert engine.victim_hits == 38
+
+    def test_swap_penalty_charged(self):
+        engine = VictimCacheEngine(GEOMETRY, TIMING, n_victims=2, swap_penalty=1)
+        addresses = [0, 32 * 32] * 3
+        result = engine.run(_runs(addresses), warmup_fraction=0.0)
+        # 2 full misses (7 cycles) + 4 swaps (1 cycle).
+        assert result.stall_cycles == 2 * 7 + 4 * 1
+
+    def test_capacity_limits_help(self):
+        # A conflict rotation wider than the victim buffer defeats it.
+        engine = VictimCacheEngine(GEOMETRY, TIMING, n_victims=2)
+        stride = 32 * 32
+        addresses = [0, stride, 2 * stride, 3 * stride] * 10
+        result = engine.run(_runs(addresses), warmup_fraction=0.0)
+        assert engine.victim_hits == 0
+        assert result.misses == 40
+
+    def test_never_worse_than_demand(self, medium_trace):
+        runs = to_line_runs(medium_trace.ifetch_addresses()[:60_000], 32)
+        geometry = CacheGeometry(8192, 32, 1)
+        demand = DemandFetchEngine(geometry, TIMING).run(runs)
+        victim = VictimCacheEngine(geometry, TIMING, n_victims=4).run(runs)
+        assert victim.stall_cycles <= demand.stall_cycles
+        assert victim.misses <= demand.misses
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VictimCacheEngine(GEOMETRY, TIMING, n_victims=0)
+        with pytest.raises(ValueError):
+            VictimCacheEngine(GEOMETRY, TIMING, swap_penalty=-1)

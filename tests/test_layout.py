@@ -1,0 +1,135 @@
+"""Unit tests for profiling and procedure placement."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.core.metrics import measure_mpi
+from repro.layout.placement import place_by_heat, relocate_addresses
+from repro.layout.profile import profile_trace
+from repro.trace.record import Component
+from repro.trace.rle import to_line_runs
+from repro.workloads.generator import TraceSynthesizer
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def synth_and_trace():
+    synthesizer = TraceSynthesizer(get_workload("groff", "mach3"), seed=3)
+    trace = synthesizer.synthesize(100_000)
+    return synthesizer, trace
+
+
+class TestProfile:
+    def test_attribution_covers_component_fetches(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        images = synthesizer.code_images()
+        total_attributed = 0
+        for image in images.values():
+            profile = profile_trace(trace, image)
+            total_attributed += profile.total
+        assert total_attributed == trace.instruction_count
+
+    def test_unattributed_are_other_components(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        user_image = synthesizer.code_images()[Component.USER]
+        profile = profile_trace(trace, user_image)
+        user_fetches = int(
+            (
+                (trace.kinds == 0)
+                & (trace.components == int(Component.USER))
+            ).sum()
+        )
+        assert profile.total == user_fetches
+        assert profile.unattributed == trace.instruction_count - user_fetches
+
+    def test_hottest_sorted(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        profile = profile_trace(
+            trace, synthesizer.code_images()[Component.USER]
+        )
+        hottest = profile.hottest(5)
+        counts = [count for _i, count in hottest]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_coverage_monotone(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        profile = profile_trace(
+            trace, synthesizer.code_images()[Component.USER]
+        )
+        assert profile.coverage(0.5) <= profile.coverage(0.9)
+        assert profile.coverage(0.9) <= len(profile.counts)
+
+
+class TestPlacement:
+    def test_plan_is_permutation(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        image = synthesizer.code_images()[Component.USER]
+        plan = place_by_heat(profile_trace(trace, image))
+        # New extents must not overlap and must cover the same bytes.
+        order = sorted(
+            range(len(image.procedures)), key=lambda i: plan.new_bases[i]
+        )
+        cursor = None
+        for index in order:
+            base = int(plan.new_bases[index])
+            if cursor is not None:
+                assert base >= cursor
+            cursor = base + image.procedures[index].size_bytes
+
+    def test_hottest_placed_first(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        image = synthesizer.code_images()[Component.USER]
+        profile = profile_trace(trace, image)
+        plan = place_by_heat(profile)
+        hottest = profile.hottest(1)[0][0]
+        assert plan.new_bases[hottest] == min(
+            p.base for p in image.procedures
+        )
+
+    def test_relocation_preserves_within_procedure_offsets(
+        self, synth_and_trace
+    ):
+        synthesizer, trace = synth_and_trace
+        image = synthesizer.code_images()[Component.USER]
+        plan = place_by_heat(profile_trace(trace, image))
+        proc = image.procedures[0]
+        original = np.array(
+            [proc.base, proc.base + 4, proc.base + 8], dtype=np.uint64
+        )
+        moved = relocate_addresses(original, plan)
+        assert moved[1] - moved[0] == 4
+        assert moved[2] - moved[0] == 8
+        assert moved[0] == plan.new_bases[0]
+
+    def test_other_components_untouched(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        user_image = synthesizer.code_images()[Component.USER]
+        plan = place_by_heat(profile_trace(trace, user_image))
+        kernel_address = np.array([0x8000_0000], dtype=np.uint64)
+        assert relocate_addresses(kernel_address, plan)[0] == 0x8000_0000
+
+    def test_relocation_preserves_fetch_count(self, synth_and_trace):
+        synthesizer, trace = synth_and_trace
+        image = synthesizer.code_images()[Component.USER]
+        plan = place_by_heat(profile_trace(trace, image))
+        addresses = trace.ifetch_addresses()
+        relocated = relocate_addresses(addresses, plan)
+        assert len(relocated) == len(addresses)
+
+    def test_placement_does_not_hurt_on_average(self, synth_and_trace):
+        """Heat packing targets conflicts; over the IBS models it should
+        be at worst neutral at the reference cache."""
+        synthesizer, trace = synth_and_trace
+        addresses = trace.ifetch_addresses()
+        relocated = addresses
+        for image in synthesizer.code_images().values():
+            profile = profile_trace(trace, image)
+            if profile.total:
+                relocated = relocate_addresses(
+                    relocated, place_by_heat(profile)
+                )
+        geometry = CacheGeometry(8192, 32, 1)
+        before = measure_mpi(to_line_runs(addresses, 32), geometry).mpi
+        after = measure_mpi(to_line_runs(relocated, 32), geometry).mpi
+        assert after <= before * 1.05

@@ -1,0 +1,84 @@
+"""Unit tests for the Monster logic-analyzer capture model."""
+
+import numpy as np
+
+from repro.caches.base import CacheGeometry
+from repro.monitor.logic_analyzer import MonsterCapture
+from repro.trace.record import Component, RefKind
+
+
+class TestCapture:
+    def test_small_trace_untouched(self, small_trace):
+        capture = MonsterCapture(buffer_references=10**9)
+        report = capture.capture(small_trace)
+        assert report.n_unloads == 0
+        assert report.trace is small_trace
+
+    def test_unload_count(self, small_trace):
+        buffer = 10_000
+        capture = MonsterCapture(buffer_references=buffer)
+        report = capture.capture(small_trace)
+        assert report.n_unloads == (len(small_trace) - 1) // buffer
+
+    def test_injected_references_are_kernel_ifetches(self, small_trace):
+        capture = MonsterCapture(buffer_references=10_000)
+        report = capture.capture(small_trace)
+        captured = report.trace
+        assert len(captured) == len(small_trace) + report.injected_references
+        extra = report.injected_references
+        assert extra > 0
+        # Injected handler bursts are kernel instruction fetches.
+        injected_mask = np.ones(len(captured), dtype=bool)
+        # Reconstruct: chunks of `buffer` original refs followed by bursts.
+        # Simply check totals instead of positions:
+        original_kernel_ifetch = int(
+            (
+                (small_trace.kinds == RefKind.IFETCH)
+                & (small_trace.components == Component.KERNEL)
+            ).sum()
+        )
+        captured_kernel_ifetch = int(
+            (
+                (captured.kinds == RefKind.IFETCH)
+                & (captured.components == Component.KERNEL)
+            ).sum()
+        )
+        assert captured_kernel_ifetch == original_kernel_ifetch + extra
+
+    def test_original_references_preserved_in_order(self, small_trace):
+        capture = MonsterCapture(buffer_references=7_000)
+        captured = capture.capture(small_trace).trace
+        # Deleting the injected handler addresses recovers the original.
+        handler_base = capture._handler_addresses[0]
+        handler_top = capture._handler_addresses[-1]
+        keep = ~(
+            (captured.addresses >= handler_base)
+            & (captured.addresses <= handler_top)
+            & (captured.kinds == RefKind.IFETCH)
+            & (captured.components == Component.KERNEL)
+        )
+        recovered = captured.addresses[keep]
+        # All original refs must appear (the workload itself never
+        # touches the dedicated handler range).
+        assert len(recovered) == len(small_trace)
+        assert np.array_equal(recovered, small_trace.addresses)
+
+
+class TestCaptureError:
+    def test_error_is_small(self, medium_trace):
+        """Reproduces the paper's validation: capture distortion changes
+        the measured MPI by well under 5%."""
+        capture = MonsterCapture(buffer_references=32_768)
+        geometry = CacheGeometry(8192, 32, 1)
+        error = capture.capture_error(medium_trace, geometry)
+        assert error < 0.05
+
+    def test_tiny_buffer_distorts_more(self, medium_trace):
+        geometry = CacheGeometry(8192, 32, 1)
+        fine = MonsterCapture(buffer_references=200_000).capture_error(
+            medium_trace, geometry
+        )
+        coarse = MonsterCapture(buffer_references=2_000).capture_error(
+            medium_trace, geometry
+        )
+        assert coarse >= fine

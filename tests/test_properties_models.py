@@ -1,0 +1,101 @@
+"""Property-based tests on the analytical models (area, sampling,
+two-level consistency, branch accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.base import CacheGeometry
+from repro.caches.sampling import sampled_mpi
+from repro.core.area import cache_area_rbe
+from repro.core.metrics import measure_mpi
+from repro.fetch.branch import BranchTargetBuffer
+from repro.trace.rle import to_line_runs
+
+geometry_strategy = st.builds(
+    CacheGeometry,
+    size_bytes=st.sampled_from([4096, 8192, 32768, 131072]),
+    line_size=st.sampled_from([16, 32, 64]),
+    associativity=st.sampled_from([1, 2, 4]),
+)
+
+addresses_strategy = st.lists(
+    st.integers(min_value=0, max_value=1 << 18), min_size=2, max_size=400
+).map(lambda xs: np.array(xs, dtype=np.uint64) * 4)
+
+
+class TestAreaProperties:
+    @given(geometry_strategy)
+    def test_area_positive_and_superlinear_floor(self, geometry):
+        area = cache_area_rbe(geometry)
+        # At least the raw data bits' worth of cells.
+        assert area > geometry.size_bytes * 8 * 0.6
+
+    @given(
+        st.sampled_from([16, 32, 64]),
+        st.sampled_from([1, 2, 4]),
+    )
+    def test_area_monotone_in_size(self, line, ways):
+        sizes = [4096, 8192, 16384, 32768]
+        areas = [
+            cache_area_rbe(CacheGeometry(size, line, ways)) for size in sizes
+        ]
+        assert areas == sorted(areas)
+
+    @given(st.sampled_from([4096, 8192, 32768]), st.sampled_from([32, 64]))
+    def test_area_monotone_in_associativity(self, size, line):
+        areas = [
+            cache_area_rbe(CacheGeometry(size, line, ways))
+            for ways in (1, 2, 4)
+        ]
+        assert areas == sorted(areas)
+
+
+class TestSamplingProperties:
+    @given(addresses_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_full_single_window_equals_exact(self, addresses):
+        geometry = CacheGeometry(4096, 32, 1)
+        runs = to_line_runs(addresses, 32)
+        total = int(runs.counts.sum())
+        estimate = sampled_mpi(
+            runs, geometry,
+            sample_fraction=1.0,
+            window_instructions=total,
+            warm_fraction=0.0,
+        )
+        exact = measure_mpi(runs, geometry, warmup_fraction=0.0)
+        assert estimate.mpi == pytest.approx(exact.mpi)
+        assert estimate.windows == 1
+
+    @given(addresses_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_bounded(self, addresses):
+        geometry = CacheGeometry(4096, 32, 1)
+        runs = to_line_runs(addresses, 32)
+        estimate = sampled_mpi(
+            runs, geometry, sample_fraction=0.5, window_instructions=50
+        )
+        assert 0.0 <= estimate.mpi <= 1.0
+        assert estimate.instructions_measured <= estimate.instructions_simulated
+
+
+class TestBranchProperties:
+    @given(addresses_strategy, st.sampled_from([4, 64, 1024]))
+    @settings(max_examples=25, deadline=None)
+    def test_rates_bounded(self, addresses, entries):
+        result = BranchTargetBuffer(entries).simulate(addresses)
+        assert 0.0 <= result.taken_rate <= 1.0
+        assert 0.0 <= result.misprediction_rate <= 1.0
+        assert result.mispredictions <= result.transitions
+        assert result.taken <= result.transitions
+
+    @given(addresses_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_mispredictions_at_most_taken_plus_drops(self, addresses):
+        # Every misprediction is either a taken transfer that wasn't
+        # predicted (bounded by taken) or a predicted-taken that fell
+        # through (bounded by transitions - taken).
+        result = BranchTargetBuffer(64).simulate(addresses)
+        assert result.mispredictions <= result.transitions

@@ -1,0 +1,106 @@
+"""Unit tests for the Mach TLB cost taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.tlb.mach_tlb import (
+    KERNEL_REFILL_CYCLES,
+    SERVER_REFILL_CYCLES,
+    USER_REFILL_CYCLES,
+    MachTlbResult,
+    simulate_mach_tlb,
+)
+from repro.trace.record import Component, RefKind
+from repro.trace.trace import Trace
+
+
+def _trace(pages_components):
+    addresses = np.array(
+        [page * 4096 for page, _c in pages_components], dtype=np.uint64
+    )
+    components = np.array(
+        [int(c) for _p, c in pages_components], dtype=np.uint8
+    )
+    kinds = np.full(len(addresses), RefKind.IFETCH, dtype=np.uint8)
+    return Trace(addresses, kinds, components)
+
+
+class TestMachTlbResult:
+    def test_cost_taxonomy(self):
+        result = MachTlbResult(
+            instructions=1000,
+            misses_by_class={
+                Component.USER: 10,
+                Component.KERNEL: 5,
+                Component.BSD_SERVER: 2,
+            },
+        )
+        expected = (
+            10 * USER_REFILL_CYCLES
+            + 5 * KERNEL_REFILL_CYCLES
+            + 2 * SERVER_REFILL_CYCLES
+        ) / 1000
+        assert result.cpi == pytest.approx(expected)
+        assert result.total_misses == 17
+
+    def test_blended_comparison(self):
+        result = MachTlbResult(
+            instructions=1000, misses_by_class={Component.KERNEL: 10}
+        )
+        assert result.blended_cpi(24) == pytest.approx(0.24)
+        assert result.effective_refill_cycles == pytest.approx(
+            KERNEL_REFILL_CYCLES
+        )
+
+    def test_empty(self):
+        result = MachTlbResult(instructions=0, misses_by_class={})
+        assert result.cpi == 0.0
+        assert result.effective_refill_cycles == 0.0
+
+
+class TestSimulateMachTlb:
+    def test_misses_attributed_to_components(self):
+        # 60 kernel pages + 2 user pages fit the 64-entry TLB: after the
+        # compulsory round, everything hits — misses split 60/2.
+        refs = []
+        for repeat in range(3):
+            for page in range(60):
+                refs.append((1000 + page, Component.KERNEL))
+            refs.append((1, Component.USER))
+            refs.append((2, Component.USER))
+        result = simulate_mach_tlb(_trace(refs))
+        assert result.misses_by_class[Component.KERNEL] == 60
+        assert result.misses_by_class[Component.USER] == 2
+
+    def test_thrash_evicts_everyone(self):
+        # 100 distinct kernel pages cycling through a 64-entry LRU TLB
+        # evict the user pages too: every reference misses.
+        refs = []
+        for repeat in range(3):
+            refs += [(1000 + page, Component.KERNEL) for page in range(100)]
+            refs += [(1, Component.USER), (2, Component.USER)]
+        result = simulate_mach_tlb(_trace(refs))
+        assert result.total_misses == len(refs)
+
+    def test_server_pages_costlier(self):
+        kernel_only = simulate_mach_tlb(
+            _trace([(p, Component.KERNEL) for p in range(200)])
+        )
+        server_only = simulate_mach_tlb(
+            _trace([(p, Component.BSD_SERVER) for p in range(200)])
+        )
+        assert kernel_only.total_misses == server_only.total_misses
+        assert server_only.cpi > kernel_only.cpi
+
+    def test_mach_trace_costlier_than_blended(self, medium_trace):
+        """On an OS-heavy IBS trace, the taxonomy's effective refill
+        cost exceeds the user fast path (kernel/server misses matter)."""
+        result = simulate_mach_tlb(medium_trace, warmup_fraction=0.3)
+        assert result.total_misses > 0
+        assert result.effective_refill_cycles > USER_REFILL_CYCLES
+
+    def test_warmup(self):
+        refs = [(p, Component.USER) for p in range(100)]
+        full = simulate_mach_tlb(_trace(refs))
+        warm = simulate_mach_tlb(_trace(refs), warmup_fraction=0.5)
+        assert warm.total_misses < full.total_misses

@@ -1,0 +1,112 @@
+"""Unit tests for trace filters and combinators."""
+
+import numpy as np
+import pytest
+
+from repro.trace.filters import (
+    by_component,
+    by_kind,
+    concat,
+    data_only,
+    head,
+    ifetch_only,
+)
+from repro.trace.record import Component, RefKind
+from repro.trace.trace import Trace
+
+
+class TestKindFilters:
+    def test_ifetch_only(self, handmade_trace):
+        filtered = ifetch_only(handmade_trace)
+        assert len(filtered) == 4
+        assert (filtered.kinds == RefKind.IFETCH).all()
+
+    def test_data_only(self, handmade_trace):
+        filtered = data_only(handmade_trace)
+        assert len(filtered) == 2
+        assert set(filtered.kinds.tolist()) == {RefKind.LOAD, RefKind.STORE}
+
+    def test_by_kind_store(self, handmade_trace):
+        stores = by_kind(handmade_trace, RefKind.STORE)
+        assert len(stores) == 1
+        assert stores.addresses[0] == 0x2000
+
+    def test_order_preserved(self, handmade_trace):
+        filtered = ifetch_only(handmade_trace)
+        assert list(filtered.addresses) == sorted(
+            filtered.addresses.tolist(),
+            key=lambda a: list(handmade_trace.addresses).index(a),
+        )
+
+
+class TestComponentFilter:
+    def test_by_component(self, handmade_trace):
+        kernel = by_component(handmade_trace, Component.KERNEL)
+        assert len(kernel) == 2
+        assert (kernel.components == Component.KERNEL).all()
+
+
+class TestConcat:
+    def test_concat_two(self, handmade_trace):
+        both = concat([handmade_trace, handmade_trace])
+        assert len(both) == 2 * len(handmade_trace)
+        assert both.instruction_count == 2 * handmade_trace.instruction_count
+
+    def test_concat_empty_list(self):
+        assert len(concat([], label="x")) == 0
+
+    def test_concat_label(self, handmade_trace):
+        assert concat([handmade_trace], label="multi").label == "multi"
+        assert concat([handmade_trace]).label == handmade_trace.label
+
+
+class TestHead:
+    def test_head(self, handmade_trace):
+        assert len(head(handmade_trace, 2)) == 2
+
+    def test_head_longer_than_trace(self, handmade_trace):
+        assert len(head(handmade_trace, 100)) == len(handmade_trace)
+
+    def test_head_negative(self, handmade_trace):
+        with pytest.raises(ValueError):
+            head(handmade_trace, -1)
+
+
+class TestInterleave:
+    def test_round_robin_order(self, handmade_trace):
+        from repro.trace.filters import interleave
+
+        a = handmade_trace.relabel("a")
+        b = handmade_trace.relabel("b")
+        merged = interleave([a, b], quantum=2, label="mix")
+        assert len(merged) == 2 * len(handmade_trace)
+        assert merged.label == "mix"
+        # First quantum of a, then first quantum of b.
+        assert list(merged.addresses[:2]) == list(a.addresses[:2])
+        assert list(merged.addresses[2:4]) == list(b.addresses[:2])
+
+    def test_unequal_lengths(self, handmade_trace):
+        from repro.trace.filters import interleave
+
+        short = handmade_trace[:2]
+        merged = interleave([handmade_trace, short], quantum=3)
+        assert len(merged) == len(handmade_trace) + 2
+
+    def test_quantum_larger_than_traces(self, handmade_trace):
+        from repro.trace.filters import interleave
+
+        merged = interleave([handmade_trace, handmade_trace], quantum=10**6)
+        assert len(merged) == 2 * len(handmade_trace)
+
+    def test_empty_list(self):
+        from repro.trace.filters import interleave
+
+        assert len(interleave([], quantum=10)) == 0
+
+    def test_rejects_bad_quantum(self, handmade_trace):
+        import pytest
+
+        from repro.trace.filters import interleave
+
+        with pytest.raises(ValueError):
+            interleave([handmade_trace], quantum=0)

@@ -1,0 +1,84 @@
+"""Unit tests for control-flow statistics."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import CacheGeometry
+from repro.trace.flow import flow_stats, miss_sequentiality
+from repro.trace.record import Component, RefKind
+from repro.trace.trace import Trace
+
+
+def _ifetch_trace(addresses):
+    n = len(addresses)
+    return Trace(
+        np.asarray(addresses, dtype=np.uint64),
+        np.full(n, RefKind.IFETCH, dtype=np.uint8),
+        np.full(n, Component.USER, dtype=np.uint8),
+    )
+
+
+class TestFlowStats:
+    def test_pure_sequential(self):
+        stats = flow_stats(_ifetch_trace(np.arange(0, 400, 4)))
+        assert stats.taken_rate == 0.0
+        assert stats.mean_block == pytest.approx(100.0)
+
+    def test_alternating_jump(self):
+        # 0, 4, 1000, 1004, 0, 4, ... : every other transition taken.
+        addresses = []
+        for _ in range(50):
+            addresses += [0, 4, 1000, 1004]
+        stats = flow_stats(_ifetch_trace(addresses))
+        assert stats.taken_rate == pytest.approx(0.5, abs=0.02)
+        assert stats.mean_block == pytest.approx(2.0, abs=0.1)
+
+    def test_backward_fraction(self):
+        # A 3-instruction loop: back-edge every 3rd fetch.
+        addresses = [0, 4, 8] * 30
+        stats = flow_stats(_ifetch_trace(addresses))
+        assert stats.backward_fraction == pytest.approx(1.0)
+        assert stats.median_displacement == 8.0
+
+    def test_short_jump_fraction(self):
+        addresses = [0, 64, 0x100000, 0x100040] * 20
+        stats = flow_stats(_ifetch_trace(addresses))
+        # jumps: +60? no: deltas 64, big, 64... short (<=256) = 2/3.
+        assert 0.5 < stats.short_jump_fraction < 0.8
+
+    def test_degenerate(self):
+        stats = flow_stats(_ifetch_trace([0]))
+        assert stats.fetches == 1
+        assert stats.taken_rate == 0.0
+
+    def test_describe(self, medium_trace):
+        text = flow_stats(medium_trace).describe()
+        assert "taken-transfer rate" in text
+
+    def test_synthetic_traces_plausible(self, medium_trace, spec_trace):
+        ibs = flow_stats(medium_trace)
+        spec = flow_stats(spec_trace)
+        assert 0.03 < ibs.taken_rate < 0.5
+        # SPEC's longer loops give longer basic-block runs on average.
+        assert spec.mean_block > 0
+
+
+class TestMissSequentiality:
+    def test_sequential_stream_is_fully_sequential(self):
+        trace = _ifetch_trace(np.arange(0, 65536, 4))
+        geometry = CacheGeometry(1024, 32, 1)
+        assert miss_sequentiality(trace, geometry) == pytest.approx(1.0)
+
+    def test_random_stream_is_not(self):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 22, 20000).astype(np.uint64) * 4
+        trace = _ifetch_trace(addresses)
+        geometry = CacheGeometry(1024, 32, 1)
+        assert miss_sequentiality(trace, geometry) < 0.05
+
+    def test_bounds_table8_behaviour(self, medium_trace):
+        """The stream buffer's coverage asymptote is the miss-edge
+        sequentiality; our IBS traces sit in a plausible band."""
+        geometry = CacheGeometry(8192, 16, 1)
+        value = miss_sequentiality(medium_trace, geometry)
+        assert 0.2 < value < 0.9

@@ -1,0 +1,87 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace.io import load_trace, save_trace
+from repro.trace.trace import Trace
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, handmade_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(handmade_trace, path)
+        loaded = load_trace(path)
+        assert loaded.label == handmade_trace.label
+        assert np.array_equal(loaded.addresses, handmade_trace.addresses)
+        assert np.array_equal(loaded.kinds, handmade_trace.kinds)
+        assert np.array_equal(loaded.components, handmade_trace.components)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace.empty("e"), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.label == "e"
+
+    def test_unicode_label(self, handmade_trace, tmp_path):
+        path = tmp_path / "u.npz"
+        save_trace(handmade_trace.relabel("groff@mach3 µkernel"), path)
+        assert load_trace(path).label == "groff@mach3 µkernel"
+
+
+class TestErrors:
+    def test_not_a_trace_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_synthesized_round_trip(self, small_trace, tmp_path):
+        path = tmp_path / "synth.npz"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded.instruction_count == small_trace.instruction_count
+
+
+class TestDinero:
+    def test_round_trip(self, handmade_trace, tmp_path):
+        from repro.trace.io import load_dinero, save_dinero
+
+        path = tmp_path / "t.din"
+        save_dinero(handmade_trace, path)
+        loaded = load_dinero(path)
+        assert np.array_equal(loaded.addresses, handmade_trace.addresses)
+        assert np.array_equal(loaded.kinds, handmade_trace.kinds)
+
+    def test_format_is_classic_din(self, handmade_trace, tmp_path):
+        from repro.trace.io import save_dinero
+
+        path = tmp_path / "t.din"
+        save_dinero(handmade_trace, path)
+        first = path.read_text().splitlines()[0].split()
+        assert first[0] == "2"  # ifetch
+        assert int(first[1], 16) == 0x1000
+
+    def test_malformed_line_rejected(self, tmp_path):
+        from repro.trace.io import load_dinero
+
+        path = tmp_path / "bad.din"
+        path.write_text("2 1000\nnot a line\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_dinero(path)
+
+    def test_unknown_type_rejected(self, tmp_path):
+        from repro.trace.io import load_dinero
+
+        path = tmp_path / "bad.din"
+        path.write_text("7 1000\n")
+        with pytest.raises(ValueError, match="unknown access type"):
+            load_dinero(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        from repro.trace.io import load_dinero
+
+        path = tmp_path / "t.din"
+        path.write_text("2 1000\n\n0 2000\n")
+        assert len(load_dinero(path)) == 2

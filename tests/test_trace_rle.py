@@ -1,0 +1,76 @@
+"""Unit tests for run-length encoding of line streams."""
+
+import numpy as np
+import pytest
+
+from repro.trace.rle import LineRuns, to_line_runs
+
+
+class TestToLineRuns:
+    def test_sequential_stream_collapses(self):
+        # 16 sequential instructions at 4-byte stride = 2 runs of 8 in
+        # 32-byte lines.
+        addresses = np.arange(0, 64, 4, dtype=np.uint64)
+        runs = to_line_runs(addresses, 32)
+        assert list(runs.lines) == [0, 1]
+        assert list(runs.counts) == [8, 8]
+        assert runs.total_references == 16
+
+    def test_alternating_lines_do_not_collapse(self):
+        addresses = np.array([0, 32, 0, 32], dtype=np.uint64)
+        runs = to_line_runs(addresses, 32)
+        assert list(runs.lines) == [0, 1, 0, 1]
+        assert list(runs.counts) == [1, 1, 1, 1]
+
+    def test_first_offsets(self):
+        addresses = np.array([0x14, 0x18, 0x44], dtype=np.uint64)
+        runs = to_line_runs(addresses, 32)
+        assert list(runs.first_offsets) == [0x14, 0x44 % 32]
+
+    def test_empty(self):
+        runs = to_line_runs(np.zeros(0, dtype=np.uint64), 32)
+        assert len(runs) == 0
+        assert runs.total_references == 0
+
+    def test_single_reference(self):
+        runs = to_line_runs(np.array([100], dtype=np.uint64), 16)
+        assert list(runs.lines) == [100 >> 4]
+        assert list(runs.counts) == [1]
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            to_line_runs(np.array([0], dtype=np.uint64), 33)
+
+    def test_preserves_total_references(self):
+        rng = np.random.default_rng(5)
+        addresses = rng.integers(0, 1 << 20, 5000).astype(np.uint64) * 4
+        runs = to_line_runs(addresses, 32)
+        assert runs.total_references == 5000
+
+    def test_miss_equivalence_with_unencoded_stream(self):
+        # RLE must not change miss counts: repeats within a line always hit.
+        from repro.caches.vectorized import miss_mask_direct_mapped
+
+        rng = np.random.default_rng(9)
+        base = rng.integers(0, 512, 300).astype(np.uint64) * 32
+        # expand each to a small sequential run
+        addresses = np.concatenate(
+            [np.arange(a, a + 32, 4, dtype=np.uint64) for a in base]
+        )
+        full_lines = addresses >> np.uint64(5)
+        runs = to_line_runs(addresses, 32)
+        assert (
+            miss_mask_direct_mapped(full_lines, 128).sum()
+            == miss_mask_direct_mapped(runs.lines, 128).sum()
+        )
+
+
+class TestLineRunsValidation:
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ValueError):
+            LineRuns(
+                lines=np.zeros(2, np.uint64),
+                counts=np.zeros(1, np.int64),
+                first_offsets=np.zeros(2, np.int64),
+                line_size=32,
+            )

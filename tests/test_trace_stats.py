@@ -1,0 +1,93 @@
+"""Unit tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import Component, RefKind
+from repro.trace.stats import (
+    component_mix,
+    compute_stats,
+    sequential_run_lengths,
+    working_set_curve,
+)
+from repro.trace.trace import Trace
+
+
+def _ifetch_trace(addresses, components=None):
+    n = len(addresses)
+    components = components or [Component.USER] * n
+    return Trace(
+        np.asarray(addresses, dtype=np.uint64),
+        np.full(n, RefKind.IFETCH, dtype=np.uint8),
+        np.asarray(components, dtype=np.uint8),
+    )
+
+
+class TestComputeStats:
+    def test_counts(self, handmade_trace):
+        stats = compute_stats(handmade_trace)
+        assert stats.references == 6
+        assert stats.instructions == 4
+        assert stats.loads == 1
+        assert stats.stores == 1
+
+    def test_footprints(self, handmade_trace):
+        stats = compute_stats(handmade_trace)
+        # 4 distinct instruction words
+        assert stats.ifetch_footprint_bytes == 16
+        # load and store hit the same word
+        assert stats.data_footprint_bytes == 4
+
+    def test_describe_renders(self, handmade_trace):
+        text = compute_stats(handmade_trace).describe()
+        assert "instructions" in text
+        assert "component mix" in text
+
+    def test_mean_sequential_run(self):
+        # 0,4,8 sequential | 100 | 104: two breaks -> runs 3 and 2.
+        trace = _ifetch_trace([0, 4, 8, 100, 104])
+        stats = compute_stats(trace)
+        assert stats.mean_sequential_run == pytest.approx(5 / 2)
+
+    def test_synthesized_trace_is_plausible(self, medium_trace):
+        stats = compute_stats(medium_trace)
+        assert stats.instructions == 150_000
+        assert 2 < stats.mean_sequential_run < 50
+        assert stats.ifetch_footprint_bytes > 50 * 1024
+
+
+class TestComponentMix:
+    def test_fractions_sum_to_one(self, medium_trace):
+        mix = component_mix(medium_trace)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_values(self, handmade_trace):
+        mix = component_mix(handmade_trace)
+        assert mix[Component.USER] == pytest.approx(0.75)
+        assert mix[Component.KERNEL] == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert component_mix(Trace.empty()) == {}
+
+
+class TestSequentialRunLengths:
+    def test_runs(self):
+        trace = _ifetch_trace([0, 4, 8, 100, 104, 0])
+        assert list(sequential_run_lengths(trace)) == [3, 2, 1]
+
+    def test_empty(self):
+        assert len(sequential_run_lengths(Trace.empty())) == 0
+
+
+class TestWorkingSetCurve:
+    def test_window_counts(self):
+        # window of 4 fetches: first window touches 1 line, second 4.
+        addresses = [0, 4, 8, 12, 0, 64, 128, 256]
+        trace = _ifetch_trace(addresses)
+        curve = working_set_curve(trace, line_size=32, window=4)
+        assert list(curve) == [1, 4]
+
+    def test_bloat_shows_in_working_set(self, medium_trace, spec_trace):
+        ibs = working_set_curve(medium_trace, 32, 10_000).mean()
+        spec = working_set_curve(spec_trace, 32, 10_000).mean()
+        assert ibs > spec  # IBS touches more lines per window

@@ -1,0 +1,94 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import Component, RefKind
+from repro.trace.trace import Trace
+
+
+def _trace(addresses, kinds=None, components=None):
+    n = len(addresses)
+    kinds = kinds if kinds is not None else [RefKind.IFETCH] * n
+    components = components if components is not None else [Component.USER] * n
+    return Trace(
+        np.asarray(addresses, dtype=np.uint64),
+        np.asarray(kinds, dtype=np.uint8),
+        np.asarray(components, dtype=np.uint8),
+    )
+
+
+class TestConstruction:
+    def test_columns_are_read_only(self):
+        trace = _trace([0, 4, 8])
+        with pytest.raises(ValueError):
+            trace.addresses[0] = 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Trace(
+                np.zeros(3, np.uint64),
+                np.zeros(2, np.uint8),
+                np.zeros(3, np.uint8),
+            )
+
+    def test_empty(self):
+        trace = Trace.empty("nothing")
+        assert len(trace) == 0
+        assert trace.instruction_count == 0
+        assert trace.label == "nothing"
+
+    def test_dtype_coercion(self):
+        trace = Trace(
+            np.array([1, 2], dtype=np.int64),
+            np.array([0, 1], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+        )
+        assert trace.addresses.dtype == np.uint64
+        assert trace.kinds.dtype == np.uint8
+
+
+class TestViews:
+    def test_instruction_count(self, handmade_trace):
+        assert handmade_trace.instruction_count == 4
+
+    def test_ifetch_addresses(self, handmade_trace):
+        assert list(handmade_trace.ifetch_addresses()) == [
+            0x1000, 0x1004, 0x1008, 0x3000,
+        ]
+
+    def test_line_addresses(self, handmade_trace):
+        lines = handmade_trace.line_addresses(32)
+        assert list(lines) == [
+            0x1000 >> 5, 0x1004 >> 5, 0x2000 >> 5,
+            0x1008 >> 5, 0x2000 >> 5, 0x3000 >> 5,
+        ]
+
+    def test_line_addresses_rejects_non_power(self, handmade_trace):
+        with pytest.raises(ValueError):
+            handmade_trace.line_addresses(33)
+
+    def test_component_counts(self, handmade_trace):
+        counts = handmade_trace.component_counts()
+        assert counts[Component.USER] == 4
+        assert counts[Component.KERNEL] == 2
+
+    def test_slicing(self, handmade_trace):
+        head = handmade_trace[:3]
+        assert len(head) == 3
+        assert head.instruction_count == 2
+
+    def test_non_slice_indexing_rejected(self, handmade_trace):
+        with pytest.raises(TypeError):
+            handmade_trace[0]
+
+    def test_select(self, handmade_trace):
+        kernel = handmade_trace.select(
+            handmade_trace.components == int(Component.KERNEL)
+        )
+        assert len(kernel) == 2
+
+    def test_relabel(self, handmade_trace):
+        renamed = handmade_trace.relabel("new")
+        assert renamed.label == "new"
+        assert np.array_equal(renamed.addresses, handmade_trace.addresses)

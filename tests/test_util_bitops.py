@@ -1,0 +1,50 @@
+"""Unit tests for repro._util.bitops."""
+
+import pytest
+
+from repro._util.bitops import align_down, align_up, ilog2, is_power_of_two
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(0, 40):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(0, 40):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0x1234, 0x100) == 0x1200
+        assert align_down(0x1200, 0x100) == 0x1200
+        assert align_down(7, 4) == 4
+
+    def test_align_up(self):
+        assert align_up(0x1234, 0x100) == 0x1300
+        assert align_up(0x1200, 0x100) == 0x1200
+        assert align_up(1, 4) == 4
+
+    def test_round_trip_consistency(self):
+        for address in (0, 1, 31, 32, 33, 4095, 4096, 12345):
+            down = align_down(address, 64)
+            up = align_up(address, 64)
+            assert down <= address <= up
+            assert up - down in (0, 64)
+
+    @pytest.mark.parametrize("func", [align_down, align_up])
+    def test_rejects_bad_alignment(self, func):
+        with pytest.raises(ValueError):
+            func(100, 3)

@@ -1,0 +1,41 @@
+"""Unit tests for the text table renderers."""
+
+from repro._util.fmt import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_none_renders_dash(self):
+        text = format_table(["v"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "size", [8, 16], {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        assert "size" in text
+        assert "1.000" in text and "4.000" in text
+
+    def test_none_value(self):
+        text = format_series("x", [1], {"s": [None]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_precision(self):
+        text = format_series("x", [1], {"s": [0.123456]}, precision=5)
+        assert "0.12346" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the LRU set."""
+
+import pytest
+
+from repro._util.lru import LruSet
+
+
+class TestLruSet:
+    def test_insert_until_full_no_eviction(self):
+        lru = LruSet(3)
+        assert lru.touch("a") is None
+        assert lru.touch("b") is None
+        assert lru.touch("c") is None
+        assert len(lru) == 3
+
+    def test_eviction_order_is_lru(self):
+        lru = LruSet(2)
+        lru.touch("a")
+        lru.touch("b")
+        victim = lru.touch("c")
+        assert victim == "a"
+        assert "b" in lru and "c" in lru
+
+    def test_hit_refreshes_recency(self):
+        lru = LruSet(2)
+        lru.touch("a")
+        lru.touch("b")
+        lru.touch("a")  # refresh: b becomes LRU
+        assert lru.touch("c") == "b"
+        assert "a" in lru
+
+    def test_hit_returns_none(self):
+        lru = LruSet(2)
+        lru.touch("a")
+        assert lru.touch("a") is None
+        assert len(lru) == 1
+
+    def test_peek_lru(self):
+        lru = LruSet(3)
+        assert lru.peek_lru() is None
+        lru.touch(1)
+        lru.touch(2)
+        assert lru.peek_lru() == 1
+        lru.touch(1)
+        assert lru.peek_lru() == 2
+
+    def test_discard(self):
+        lru = LruSet(2)
+        lru.touch("x")
+        assert lru.discard("x") is True
+        assert lru.discard("x") is False
+        assert "x" not in lru
+
+    def test_iteration_order_lru_to_mru(self):
+        lru = LruSet(3)
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        lru.touch("a")
+        assert list(lru) == ["b", "c", "a"]
+
+    def test_clear(self):
+        lru = LruSet(2)
+        lru.touch(1)
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.capacity == 2
+
+    def test_capacity_one(self):
+        lru = LruSet(1)
+        assert lru.touch("a") is None
+        assert lru.touch("b") == "a"
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LruSet(0)

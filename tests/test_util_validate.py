@@ -1,0 +1,54 @@
+"""Unit tests for argument validators."""
+
+import pytest
+
+from repro._util.validate import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        check_power_of_two("n", 1)
+        check_power_of_two("n", 4096)
+
+    @pytest.mark.parametrize("bad", [0, 3, -8, 2.0, "8"])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="n"):
+            check_power_of_two("n", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("r", 0, 0, 1)
+        check_in_range("r", 1, 0, 1)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="r"):
+            check_in_range("r", 1.01, 0, 1)
+
+
+class TestCheckFraction:
+    def test_accepts(self):
+        check_fraction("f", 0.0)
+        check_fraction("f", 0.5)
+        check_fraction("f", 1.0)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="f"):
+            check_fraction("f", bad)

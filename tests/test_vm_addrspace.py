@@ -1,0 +1,45 @@
+"""Unit tests for the address-space layout."""
+
+import itertools
+
+from repro.trace.record import Component
+from repro.vm.addrspace import REGION_SPAN, AddressSpaceLayout
+
+
+class TestAddressSpaceLayout:
+    def test_code_regions_disjoint(self):
+        layout = AddressSpaceLayout()
+        regions = [
+            (layout.code_base(c), layout.code_base(c) + REGION_SPAN)
+            for c in Component
+        ]
+        for (lo1, hi1), (lo2, hi2) in itertools.combinations(regions, 2):
+            assert hi1 <= lo2 or hi2 <= lo1
+
+    def test_code_data_stack_disjoint_per_component(self):
+        layout = AddressSpaceLayout()
+        for component in Component:
+            code = layout.code_base(component)
+            data = layout.data_base(component)
+            stack = layout.stack_base(component)
+            assert len({code >> 28, data >> 28, stack >> 28}) == 3 or (
+                abs(code - data) > REGION_SPAN // 16
+            )
+
+    def test_kernel_in_upper_half(self):
+        layout = AddressSpaceLayout()
+        assert layout.code_base(Component.KERNEL) >= 0x8000_0000
+
+    def test_user_at_mips_text_base(self):
+        assert AddressSpaceLayout().code_base(Component.USER) == 0x0040_0000
+
+    def test_reverse_lookup(self):
+        layout = AddressSpaceLayout()
+        for component in Component:
+            base = layout.code_base(component)
+            assert layout.component_of_code_address(base) is component
+            assert layout.component_of_code_address(base + 0x1000) is component
+
+    def test_reverse_lookup_miss(self):
+        layout = AddressSpaceLayout()
+        assert layout.component_of_code_address(0xF000_0000) is None

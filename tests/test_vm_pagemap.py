@@ -1,0 +1,117 @@
+"""Unit tests for page mapping policies."""
+
+import numpy as np
+import pytest
+
+from repro.vm.pagemap import (
+    BinHoppingMapper,
+    IdentityPageMapper,
+    PageColoringMapper,
+    RandomPageMapper,
+)
+
+
+class TestIdentity:
+    def test_translate_is_identity(self):
+        mapper = IdentityPageMapper()
+        for address in (0, 4095, 4096, 0x12345678):
+            assert mapper.translate(address) == address
+
+    def test_translate_many_matches_scalar(self):
+        mapper = IdentityPageMapper()
+        addresses = np.array([0, 5000, 123456], dtype=np.uint64)
+        assert list(mapper.translate_many(addresses)) == [0, 5000, 123456]
+
+
+class TestRandom:
+    def test_offsets_preserved(self):
+        mapper = RandomPageMapper(seed=0)
+        physical = mapper.translate(0x1234)
+        assert physical & 0xFFF == 0x234
+
+    def test_mapping_is_stable(self):
+        mapper = RandomPageMapper(seed=0)
+        first = mapper.translate(0x5000)
+        again = mapper.translate(0x5abc)
+        assert first >> 12 == again >> 12
+
+    def test_no_frame_reuse(self):
+        mapper = RandomPageMapper(n_frames=64, seed=1)
+        frames = {mapper.frame_of(page) for page in range(64)}
+        assert len(frames) == 64
+
+    def test_exhaustion(self):
+        mapper = RandomPageMapper(n_frames=2, seed=1)
+        mapper.frame_of(0)
+        mapper.frame_of(1)
+        with pytest.raises(MemoryError):
+            mapper.frame_of(2)
+
+    def test_seeds_give_different_mappings(self):
+        a = RandomPageMapper(seed=1)
+        b = RandomPageMapper(seed=2)
+        pages = list(range(50))
+        assert [a.frame_of(p) for p in pages] != [b.frame_of(p) for p in pages]
+
+    def test_translate_many_consistent_with_scalar(self):
+        scalar = RandomPageMapper(seed=5)
+        vector = RandomPageMapper(seed=5)
+        addresses = np.array(
+            [0x1000, 0x2000, 0x1004, 0x3000, 0x2008], dtype=np.uint64
+        )
+        expected = [scalar.translate(int(a)) for a in addresses]
+        assert list(vector.translate_many(addresses)) == expected
+
+    def test_mapped_pages_counter(self):
+        mapper = RandomPageMapper(seed=0)
+        mapper.translate(0)
+        mapper.translate(4096)
+        mapper.translate(8)
+        assert mapper.mapped_pages == 2
+
+
+class TestColoring:
+    def test_color_preserved(self):
+        mapper = PageColoringMapper(n_colors=4)
+        for page in range(32):
+            frame = mapper.frame_of(page)
+            assert frame % 4 == page % 4
+
+    def test_frames_unique(self):
+        mapper = PageColoringMapper(n_colors=4)
+        frames = [mapper.frame_of(p) for p in range(40)]
+        assert len(set(frames)) == 40
+
+    def test_deterministic(self):
+        a = PageColoringMapper(n_colors=8)
+        b = PageColoringMapper(n_colors=8)
+        pages = [3, 11, 19, 3, 27]
+        assert [a.frame_of(p) for p in pages] == [b.frame_of(p) for p in pages]
+
+
+class TestBinHopping:
+    def test_round_robin_colors(self):
+        mapper = BinHoppingMapper(n_colors=4)
+        colors = [mapper.frame_of(p) % 4 for p in (100, 7, 42, 3, 9)]
+        assert colors == [0, 1, 2, 3, 0]
+
+    def test_allocation_order_dependence(self):
+        # Bin hopping assigns by touch order, not page number.
+        a = BinHoppingMapper(n_colors=4)
+        b = BinHoppingMapper(n_colors=4)
+        a.frame_of(10)
+        a.frame_of(20)
+        b.frame_of(20)
+        b.frame_of(10)
+        assert a.frame_of(10) != b.frame_of(10)
+
+    def test_translate_many_first_touch_order(self):
+        # Vectorized translation must allocate in stream order, matching
+        # the scalar path.
+        scalar = BinHoppingMapper(n_colors=8)
+        vector = BinHoppingMapper(n_colors=8)
+        addresses = np.array(
+            [0x9000, 0x1000, 0x9008, 0x5000, 0x1010], dtype=np.uint64
+        )
+        expected = [scalar.translate(int(a)) for a in addresses]
+        assert list(vector.translate_many(addresses)) == expected

@@ -1,0 +1,94 @@
+"""Unit tests for the workload builder."""
+
+import pytest
+
+from repro.trace.record import Component
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.generator import synthesize_trace
+
+
+class TestWorkloadBuilder:
+    def _basic(self):
+        return (
+            WorkloadBuilder("svc", os_name="mach3")
+            .component("user", fraction=0.6, code_kb=200)
+            .component("kernel", fraction=0.4, code_kb=80)
+        )
+
+    def test_build(self):
+        workload = self._basic().build()
+        assert workload.name == "svc"
+        assert workload.total_code_kb == pytest.approx(280.0)
+        assert Component.KERNEL in workload.components
+
+    def test_component_overrides(self):
+        workload = (
+            WorkloadBuilder("w")
+            .component("user", fraction=1.0, code_kb=64,
+                       theta=1.5, visit_instructions=33.0)
+            .build()
+        )
+        params = workload.components[Component.USER]
+        assert params.theta == 1.5
+        assert params.visit_instructions == 33.0
+
+    def test_data_options(self):
+        workload = (
+            self._basic()
+            .data(load_rate=0.3, store_rate=0.05, streaming=0.5,
+                  store_burst_len=2.0)
+            .build()
+        )
+        assert workload.load_rate == 0.3
+        assert workload.store_rate == 0.05
+        assert workload.data_streaming_fraction == 0.5
+        assert workload.store_burst_len == 2.0
+
+    def test_scheduling(self):
+        workload = self._basic().scheduling(burst_visits=12.0).build()
+        assert workload.burst_visits == 12.0
+
+    def test_fractions_validated_at_build(self):
+        builder = WorkloadBuilder("bad").component(
+            "user", fraction=0.6, code_kb=64
+        )
+        with pytest.raises(ValueError, match="sum"):
+            builder.build()
+
+    def test_duplicate_component_rejected(self):
+        builder = WorkloadBuilder("w").component("user", 0.5, 64)
+        with pytest.raises(ValueError, match="already defined"):
+            builder.component("user", 0.5, 64)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError, match="unknown component"):
+            WorkloadBuilder("w").component("gpu", 1.0, 64)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError, match="no components"):
+            WorkloadBuilder("w").build()
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder("")
+
+    def test_built_workload_synthesizes(self):
+        workload = (
+            self._basic().data(load_rate=0.2, store_rate=0.1).build()
+        )
+        trace = synthesize_trace(workload, 20_000, seed=1)
+        assert trace.instruction_count == 20_000
+        assert trace.label == "svc@mach3"
+
+    def test_docstring_example(self):
+        workload = (
+            WorkloadBuilder("webserver", os_name="mach3")
+            .component("user", fraction=0.55, code_kb=300,
+                       visit_instructions=40)
+            .component("kernel", fraction=0.35, code_kb=120,
+                       visit_instructions=25)
+            .component("bsd_server", fraction=0.10, code_kb=60)
+            .data(load_rate=0.25, store_rate=0.08, streaming=0.1)
+            .build()
+        )
+        assert workload.total_code_kb == pytest.approx(480.0)

@@ -1,0 +1,68 @@
+"""Unit tests for synthetic call graphs."""
+
+import networkx as nx
+
+from repro.trace.record import Component
+from repro.workloads.callgraph import build_call_graph, call_graph_stats
+from repro.workloads.codeimage import build_code_image
+
+
+def _graph(n=120, seed=1, **kwargs):
+    image = build_code_image(Component.USER, n, 256.0, seed=seed)
+    return build_call_graph(image, seed=seed, **kwargs), image
+
+
+class TestBuildCallGraph:
+    def test_every_procedure_is_a_node(self):
+        graph, image = _graph()
+        assert graph.number_of_nodes() == len(image.procedures)
+
+    def test_no_self_calls(self):
+        graph, _ = _graph()
+        assert all(u != v for u, v in graph.edges)
+
+    def test_out_degree_near_target(self):
+        graph, _ = _graph(n=400, mean_out_degree=3.0)
+        mean = graph.number_of_edges() / graph.number_of_nodes()
+        # Duplicate edges collapse in a DiGraph, so the realized mean
+        # sits below the Poisson target but well above 1.
+        assert 1.0 < mean <= 3.5
+
+    def test_module_locality(self):
+        graph, image = _graph(n=240, cross_module_fraction=0.2)
+        local = 0
+        for u, v in graph.edges:
+            if image.procedures[u].module == image.procedures[v].module:
+                local += 1
+        assert local / graph.number_of_edges() > 0.5
+
+    def test_mostly_reachable(self):
+        graph, _ = _graph(n=200)
+        reachable = nx.descendants(graph, 0)
+        # The low-index bias makes early procedures call hubs; most of
+        # the image should be reachable from the entry point.
+        assert len(reachable) > 100
+
+    def test_deterministic(self):
+        g1, _ = _graph(seed=4)
+        g2, _ = _graph(seed=4)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_single_procedure(self):
+        image = build_code_image(Component.USER, 1, 256.0, seed=0)
+        graph = build_call_graph(image, seed=0)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+
+class TestCallGraphStats:
+    def test_keys(self):
+        graph, _ = _graph()
+        stats = call_graph_stats(graph)
+        assert set(stats) == {
+            "nodes", "edges", "mean_out_degree", "reachable_from_0",
+        }
+
+    def test_empty_graph(self):
+        stats = call_graph_stats(nx.DiGraph())
+        assert stats["nodes"] == 0

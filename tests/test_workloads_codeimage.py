@@ -1,0 +1,65 @@
+"""Unit tests for synthetic code images."""
+
+import pytest
+
+from repro.trace.record import Component
+from repro.vm.addrspace import AddressSpaceLayout
+from repro.workloads.codeimage import build_code_image
+
+
+class TestBuildCodeImage:
+    def test_procedure_count(self):
+        image = build_code_image(Component.USER, 100, 256.0, seed=1)
+        assert len(image.procedures) == 100
+
+    def test_procedures_do_not_overlap(self):
+        image = build_code_image(Component.USER, 200, 256.0, seed=2)
+        ordered = sorted(image.procedures, key=lambda p: p.base)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.base
+
+    def test_procedures_instruction_aligned(self):
+        image = build_code_image(Component.KERNEL, 50, 300.0, seed=3)
+        for proc in image.procedures:
+            assert proc.base % 4 == 0
+            assert proc.size_bytes % 4 == 0
+            assert proc.n_instructions == proc.size_bytes // 4
+
+    def test_mean_size_approximates_target(self):
+        image = build_code_image(Component.USER, 2000, 512.0, seed=4)
+        mean = image.total_bytes / len(image.procedures)
+        assert mean == pytest.approx(512.0, rel=0.15)
+
+    def test_modules_page_aligned(self):
+        image = build_code_image(Component.USER, 100, 256.0, seed=5)
+        for module in image.modules:
+            assert module.base % 4096 == 0
+
+    def test_modules_partition_procedures(self):
+        image = build_code_image(Component.USER, 100, 256.0, seed=6,
+                                 procedures_per_module=24)
+        member_count = sum(len(m.procedure_indices) for m in image.modules)
+        assert member_count == 100
+        assert len(image.modules) == -(-100 // 24)
+
+    def test_component_region_respected(self):
+        layout = AddressSpaceLayout()
+        for component in Component:
+            image = build_code_image(component, 50, 256.0, seed=7)
+            base = layout.code_base(component)
+            for proc in image.procedures:
+                assert proc.base >= base
+                assert proc.component == component
+
+    def test_deterministic(self):
+        a = build_code_image(Component.USER, 30, 256.0, seed=9)
+        b = build_code_image(Component.USER, 30, 256.0, seed=9)
+        assert [p.base for p in a.procedures] == [p.base for p in b.procedures]
+
+    def test_span_exceeds_total_due_to_gaps(self):
+        image = build_code_image(Component.USER, 100, 256.0, seed=10)
+        assert image.span_bytes >= image.total_bytes
+
+    def test_rejects_zero_procedures(self):
+        with pytest.raises(ValueError):
+            build_code_image(Component.USER, 0, 256.0, seed=0)

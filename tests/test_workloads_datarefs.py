@@ -1,0 +1,67 @@
+"""Unit tests for the data-reference address model."""
+
+import numpy as np
+
+from repro._util.rng import make_rng
+from repro.trace.record import Component
+from repro.vm.addrspace import AddressSpaceLayout
+from repro.workloads.datarefs import DataReferenceModel
+from repro.workloads.registry import get_workload
+
+
+def _model(name="gcc"):
+    return DataReferenceModel(get_workload(name, "mach3"), seed=1)
+
+
+class TestDataReferenceModel:
+    def test_addresses_word_aligned(self):
+        model = _model()
+        rng = make_rng(2)
+        components = np.zeros(1000, dtype=np.uint8)
+        out = model.addresses(components, np.zeros(1000, bool), rng)
+        assert (out % 4 == 0).all()
+
+    def test_addresses_in_component_data_or_stack_regions(self):
+        model = _model()
+        layout = AddressSpaceLayout()
+        rng = make_rng(3)
+        components = np.full(2000, int(Component.KERNEL), dtype=np.uint8)
+        out = model.addresses(components, np.zeros(2000, bool), rng)
+        data_base = layout.data_base(Component.KERNEL)
+        stack_base = layout.stack_base(Component.KERNEL)
+        in_data = (out >= data_base) & (out < data_base + (64 << 20))
+        in_stack = (out >= stack_base - (1 << 20)) & (out < stack_base)
+        assert (in_data | in_stack).all()
+
+    def test_stack_fraction_roughly_respected(self):
+        model = _model()
+        layout = AddressSpaceLayout()
+        rng = make_rng(4)
+        components = np.zeros(5000, dtype=np.uint8)
+        out = model.addresses(components, np.zeros(5000, bool), rng)
+        stack_base = layout.stack_base(Component.USER)
+        stack_refs = ((out < stack_base) & (out >= stack_base - (1 << 16))).sum()
+        assert 0.3 < stack_refs / 5000 < 0.5
+
+    def test_heap_reuse_is_skewed(self):
+        # Zipf reuse: the most popular 10% of touched words should
+        # carry well over 10% of references.
+        model = _model()
+        rng = make_rng(5)
+        components = np.zeros(20_000, dtype=np.uint8)
+        out = model.addresses(components, np.zeros(20_000, bool), rng)
+        layout = AddressSpaceLayout()
+        heap = out[out < layout.stack_base(Component.USER) - (1 << 20)]
+        values, counts = np.unique(heap, return_counts=True)
+        counts.sort()
+        top10 = counts[-max(1, len(counts) // 10):].sum()
+        assert top10 / counts.sum() > 0.3
+
+    def test_mixed_components(self):
+        model = _model("mpeg_play")
+        rng = make_rng(6)
+        components = np.array(
+            [int(Component.USER), int(Component.X_SERVER)] * 500, dtype=np.uint8
+        )
+        out = model.addresses(components, np.zeros(1000, bool), rng)
+        assert (out > 0).all()

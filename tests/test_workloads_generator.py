@@ -1,0 +1,94 @@
+"""Unit tests for the trace synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import Component, RefKind
+from repro.trace.stats import component_mix
+from repro.vm.addrspace import REGION_SPAN, AddressSpaceLayout
+from repro.workloads.generator import TraceSynthesizer, synthesize_trace
+from repro.workloads.registry import get_workload
+
+
+class TestSynthesize:
+    def test_exact_instruction_count(self):
+        trace = synthesize_trace(get_workload("gs", "mach3"), 25_000, seed=1)
+        assert trace.instruction_count == 25_000
+
+    def test_deterministic(self):
+        w = get_workload("verilog", "mach3")
+        a = synthesize_trace(w, 20_000, seed=4)
+        b = synthesize_trace(w, 20_000, seed=4)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.kinds, b.kinds)
+
+    def test_seeds_differ(self):
+        w = get_workload("verilog", "mach3")
+        a = synthesize_trace(w, 20_000, seed=1)
+        b = synthesize_trace(w, 20_000, seed=2)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(get_workload("gs", "mach3"), 0)
+
+    def test_component_mix_matches_spec(self):
+        workload = get_workload("mpeg_play", "mach3")
+        trace = synthesize_trace(workload, 120_000, seed=2)
+        mix = component_mix(trace)
+        for component, params in workload.components.items():
+            assert mix.get(component, 0.0) == pytest.approx(
+                params.exec_fraction, abs=0.06
+            )
+
+    def test_instruction_addresses_in_component_regions(self, small_trace):
+        layout = AddressSpaceLayout()
+        ifetch = small_trace.kinds == RefKind.IFETCH
+        addresses = small_trace.addresses[ifetch]
+        components = small_trace.components[ifetch]
+        for component in np.unique(components):
+            base = layout.code_base(Component(int(component)))
+            selected = addresses[components == component]
+            assert (selected >= base).all()
+            assert (selected < base + REGION_SPAN).all()
+
+    def test_instruction_addresses_word_aligned(self, small_trace):
+        assert (small_trace.ifetch_addresses() % 4 == 0).all()
+
+    def test_data_follows_instruction_of_same_component(self, small_trace):
+        # Each data reference is attributed to the component of the
+        # instruction that issued it.
+        kinds = small_trace.kinds
+        comps = small_trace.components
+        data_positions = np.flatnonzero(kinds != RefKind.IFETCH)
+        # The preceding reference is always the issuing ifetch.
+        assert (comps[data_positions] == comps[data_positions - 1]).all()
+        assert (kinds[data_positions - 1] == RefKind.IFETCH).all()
+
+    def test_load_store_rates(self):
+        workload = get_workload("gcc", "mach3")
+        trace = synthesize_trace(workload, 100_000, seed=3)
+        loads = int((trace.kinds == RefKind.LOAD).sum())
+        stores = int((trace.kinds == RefKind.STORE).sum())
+        assert loads / 100_000 == pytest.approx(workload.load_rate, abs=0.02)
+        assert stores / 100_000 == pytest.approx(workload.store_rate, abs=0.02)
+
+    def test_label(self):
+        trace = synthesize_trace(get_workload("sdet", "mach3"), 5_000, seed=0)
+        assert trace.label == "sdet@mach3"
+
+    def test_synthesizer_object_reusable(self):
+        synth = TraceSynthesizer(get_workload("nroff", "mach3"), seed=11)
+        a = synth.synthesize(10_000)
+        b = synth.synthesize(10_000)
+        # Same synthesizer, same seed: identical output.
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_footprint_grows_with_code_kb(self):
+        small = get_workload("jpeg_play", "mach3")
+        large = get_workload("groff", "mach3")
+        small_trace = synthesize_trace(small, 80_000, seed=1)
+        large_trace = synthesize_trace(large, 80_000, seed=1)
+        small_lines = len(np.unique(small_trace.ifetch_addresses() >> np.uint64(5)))
+        large_lines = len(np.unique(large_trace.ifetch_addresses() >> np.uint64(5)))
+        assert large_lines > small_lines

@@ -1,0 +1,82 @@
+"""Unit tests for the OS structure models."""
+
+import pytest
+
+from repro.trace.record import Component
+from repro.workloads.ibs import IBS_WORKLOADS
+from repro.workloads.os_model import (
+    MACH3,
+    MONOLITHIC_DENSITY,
+    ULTRIX,
+    os_component_inventory,
+    to_ultrix,
+)
+
+
+class TestToUltrix:
+    def test_bsd_server_disappears(self):
+        ultrix = to_ultrix(IBS_WORKLOADS["mpeg_play"])
+        assert Component.BSD_SERVER not in ultrix.components
+
+    def test_fractions_renormalized(self):
+        ultrix = to_ultrix(IBS_WORKLOADS["gs"])
+        total = sum(c.exec_fraction for c in ultrix.components.values())
+        assert total == pytest.approx(1.0)
+
+    def test_user_absorbs_bsd_time_and_kernel_shrinks(self):
+        # Table 4's redistribution: BSD-server work returns to the user
+        # task (in-kernel syscalls, no IPC) and the kernel share falls.
+        mach = IBS_WORKLOADS["sdet"]
+        ultrix = to_ultrix(mach)
+        assert (
+            ultrix.components[Component.USER].exec_fraction
+            > mach.components[Component.USER].exec_fraction
+        )
+        assert (
+            ultrix.components[Component.KERNEL].exec_fraction
+            < mach.components[Component.KERNEL].exec_fraction
+            + mach.components[Component.BSD_SERVER].exec_fraction
+        )
+
+    def test_footprints_shrink(self):
+        mach = IBS_WORKLOADS["gcc"]
+        ultrix = to_ultrix(mach)
+        for component, params in ultrix.components.items():
+            assert params.code_kb == pytest.approx(
+                mach.components[component].code_kb * MONOLITHIC_DENSITY
+            )
+
+    def test_os_name(self):
+        assert to_ultrix(IBS_WORKLOADS["nroff"]).os_name == ULTRIX
+
+    def test_rejects_non_mach_input(self):
+        ultrix = to_ultrix(IBS_WORKLOADS["nroff"])
+        with pytest.raises(ValueError):
+            to_ultrix(ultrix)
+
+    def test_user_share_grows(self):
+        # Without the servers, the user component's share of execution
+        # rises (Table 4: 62% under Mach vs 76% under Ultrix).
+        mach = IBS_WORKLOADS["mpeg_play"]
+        ultrix = to_ultrix(mach)
+        assert (
+            ultrix.components[Component.USER].exec_fraction
+            > mach.components[Component.USER].exec_fraction
+        )
+
+
+class TestInventory:
+    def test_mach_layers(self):
+        inventory = os_component_inventory(MACH3)
+        assert "BSD server" in inventory
+        assert any("emulation" in part.lower()
+                   for part in inventory["user task"])
+
+    def test_ultrix_layers(self):
+        inventory = os_component_inventory(ULTRIX)
+        assert "BSD server" not in inventory
+        assert "kernel" in inventory
+
+    def test_unknown_os(self):
+        with pytest.raises(ValueError):
+            os_component_inventory("plan9")

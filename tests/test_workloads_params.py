@@ -1,0 +1,84 @@
+"""Unit tests for workload parameter records."""
+
+import pytest
+
+from repro.trace.record import Component
+from repro.workloads.params import ComponentParams, WorkloadParams
+
+
+def _component(**overrides):
+    defaults = dict(exec_fraction=1.0, code_kb=64.0)
+    defaults.update(overrides)
+    return ComponentParams(**defaults)
+
+
+class TestComponentParams:
+    def test_n_procedures(self):
+        params = _component(code_kb=64.0, mean_proc_bytes=512.0)
+        assert params.n_procedures == 128
+
+    def test_n_procedures_minimum(self):
+        params = _component(code_kb=0.1, mean_proc_bytes=4096.0)
+        assert params.n_procedures >= 2
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("exec_fraction", 1.5),
+            ("code_kb", 0),
+            ("theta", -1),
+            ("visit_instructions", 0),
+            ("mean_run", 0),
+            ("loop_back_prob", 2.0),
+            ("branch_jump_prob", -0.1),
+            ("random_entry_fraction", 1.1),
+            ("data_kb", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            _component(**{field: value})
+
+
+class TestWorkloadParams:
+    def _workload(self, fractions=(0.7, 0.3)):
+        components = {
+            Component.USER: _component(exec_fraction=fractions[0]),
+            Component.KERNEL: _component(exec_fraction=fractions[1]),
+        }
+        return WorkloadParams(
+            name="w", os_name="mach3", description="", components=components
+        )
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            self._workload(fractions=(0.7, 0.4))
+
+    def test_total_code_kb(self):
+        workload = self._workload()
+        assert workload.total_code_kb == pytest.approx(128.0)
+
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(
+                name="w", os_name="x", description="", components={}
+            )
+
+    def test_scaled_footprint(self):
+        workload = self._workload().scaled_footprint(2.0)
+        assert workload.total_code_kb == pytest.approx(256.0)
+
+    def test_scaled_visits(self):
+        workload = self._workload().scaled_visits(3.0)
+        for params in workload.components.values():
+            assert params.visit_instructions == pytest.approx(270.0)
+
+    def test_scaling_preserves_fractions(self):
+        workload = self._workload().scaled_footprint(1.7)
+        total = sum(c.exec_fraction for c in workload.components.values())
+        assert total == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("factor", [0, -1])
+    def test_rejects_bad_factors(self, factor):
+        with pytest.raises(ValueError):
+            self._workload().scaled_footprint(factor)

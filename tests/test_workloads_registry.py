@@ -1,0 +1,101 @@
+"""Unit tests for the workload registry and trace cache."""
+
+import pytest
+
+from repro.workloads.ibs import IBS_WORKLOADS, ibs_workload
+from repro.workloads.registry import (
+    clear_trace_cache,
+    get_trace,
+    get_workload,
+    list_workloads,
+    suite_names,
+    suite_workloads,
+)
+from repro.workloads.spec import spec_workload
+
+
+class TestLookups:
+    def test_ibs_mach(self):
+        workload = get_workload("groff", "mach3")
+        assert workload.name == "groff"
+        assert workload.os_name == "mach3"
+
+    def test_ibs_ultrix_derived(self):
+        workload = get_workload("groff", "ultrix")
+        assert workload.os_name == "ultrix"
+
+    def test_spec(self):
+        workload = get_workload("eqntott", "spec92")
+        assert workload.name == "eqntott"
+
+    def test_spec89(self):
+        assert get_workload("matrix300", "spec89").os_name == "spec89"
+
+    @pytest.mark.parametrize(
+        "name,os_name",
+        [("nonesuch", "mach3"), ("groff", "spec92"), ("groff", "bsd")],
+    )
+    def test_unknown(self, name, os_name):
+        with pytest.raises(KeyError):
+            get_workload(name, os_name)
+
+    def test_ibs_workload_helper(self):
+        assert ibs_workload("gs").name == "gs"
+        with pytest.raises(KeyError):
+            ibs_workload("nonesuch")
+
+    def test_spec_workload_helper(self):
+        assert spec_workload("fpppp").name == "fpppp"
+        with pytest.raises(KeyError):
+            spec_workload("nonesuch")
+
+
+class TestSuites:
+    def test_suite_names(self):
+        names = suite_names()
+        for expected in ("ibs-mach3", "ibs-ultrix", "spec92",
+                         "specint92", "specfp92", "specint89", "specfp89"):
+            assert expected in names
+
+    def test_ibs_suite_has_eight_workloads(self):
+        assert len(suite_workloads("ibs-mach3")) == 8
+        assert len(suite_workloads("ibs-ultrix")) == 8
+
+    def test_spec92_union(self):
+        spec = suite_workloads("spec92")
+        assert len(spec) == len(suite_workloads("specint92")) + len(
+            suite_workloads("specfp92")
+        )
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            suite_workloads("spec2006")
+
+    def test_list_workloads_filter(self):
+        all_pairs = list_workloads()
+        mach_only = list_workloads("mach3")
+        assert len(mach_only) == 8
+        assert set(mach_only).issubset(set(all_pairs))
+
+    def test_every_ibs_workload_has_paper_target(self):
+        for workload in IBS_WORKLOADS.values():
+            assert workload.target_mpi_8kb is not None
+            assert workload.description
+
+
+class TestTraceCache:
+    def test_cache_returns_same_object(self):
+        a = get_trace("gcc", "mach3", 10_000, seed=42)
+        b = get_trace("gcc", "mach3", 10_000, seed=42)
+        assert a is b
+
+    def test_distinct_keys_distinct_traces(self):
+        a = get_trace("gcc", "mach3", 10_000, seed=42)
+        b = get_trace("gcc", "mach3", 10_000, seed=43)
+        assert a is not b
+
+    def test_clear(self):
+        a = get_trace("gcc", "mach3", 10_000, seed=44)
+        clear_trace_cache()
+        b = get_trace("gcc", "mach3", 10_000, seed=44)
+        assert a is not b

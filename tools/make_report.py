@@ -1,0 +1,39 @@
+"""Regenerate every table and figure and write the full report.
+
+Run from the repository root:
+
+    python tools/make_report.py [--instructions N] [--out report.txt]
+
+This is what EXPERIMENTS.md's measured numbers come from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentSettings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=400_000)
+    parser.add_argument("--out", default="report.txt")
+    args = parser.parse_args()
+
+    settings = ExperimentSettings(n_instructions=args.instructions, seed=0)
+    sections = []
+    for name, module in ALL_EXPERIMENTS.items():
+        start = time.time()
+        result = module.run(settings)
+        elapsed = time.time() - start
+        sections.append(result.render())
+        print(f"{name}: done in {elapsed:.1f}s")
+    with open(args.out, "w") as handle:
+        handle.write("\n\n\n".join(sections) + "\n")
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
