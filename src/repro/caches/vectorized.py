@@ -26,21 +26,103 @@ from repro._util.bitops import ilog2
 from repro._util.validate import check_power_of_two
 
 
-def miss_mask_direct_mapped(lines: np.ndarray, n_sets: int) -> np.ndarray:
+class LineOrderCache:
+    """Memoized per-configuration sorted views of one line array.
+
+    The direct-mapped miss computation and the compulsory-miss mask each
+    need a full stable sort of the line stream, and design-space sweeps
+    (Figures 1, 3, 4; the bandwidth studies) re-request them for the
+    same stream over and over — the sorts dominated sweep time.  This
+    cache computes each ``(n_sets)`` grouping order and the first-touch
+    mask once per line array and hands back the memoized result.
+
+    Obtain instances through :func:`line_order_cache`, which keeps a
+    small bounded registry keyed by array identity so independent sweeps
+    over the same stream share one cache.
+    """
+
+    def __init__(self, lines: np.ndarray):
+        self.lines = np.asarray(lines, dtype=np.uint64)
+        self._orders: dict[int, np.ndarray] = {}
+        self._compulsory: np.ndarray | None = None
+
+    def order(self, n_sets: int) -> np.ndarray:
+        """Stable argsort of the stream grouped by ``n_sets``-set index."""
+        order = self._orders.get(n_sets)
+        if order is None:
+            sets = self.lines & np.uint64(n_sets - 1)
+            order = np.argsort(sets, kind="stable")
+            order.setflags(write=False)  # shared between callers
+            self._orders[n_sets] = order
+        return order
+
+    def compulsory(self) -> np.ndarray:
+        """Memoized first-touch mask of the stream."""
+        if self._compulsory is None:
+            n = len(self.lines)
+            mask = np.zeros(n, dtype=bool)
+            if n:
+                _, first_indices = np.unique(self.lines, return_index=True)
+                mask[first_indices] = True
+            mask.setflags(write=False)  # shared between callers
+            self._compulsory = mask
+        return self._compulsory
+
+
+#: Bounded registry of :class:`LineOrderCache` instances, keyed by the
+#: identity of the line array.  Holding the array alive through the
+#: cache guarantees its ``id`` cannot be reused while the entry exists;
+#: insertion order doubles as the eviction order.
+_ORDER_CACHE_CAPACITY = 16
+_order_caches: dict[int, LineOrderCache] = {}
+
+
+def line_order_cache(lines: np.ndarray) -> LineOrderCache:
+    """The shared :class:`LineOrderCache` for ``lines``.
+
+    Caching is by object identity: passing an equal-but-distinct array
+    creates a fresh cache entry (and eventually evicts the oldest), so
+    callers that want reuse must pass the *same* array object — which
+    the registry's trace cache and :class:`~repro.trace.trace.Trace`
+    memoization already arrange.
+    """
+    key = id(lines)
+    cache = _order_caches.get(key)
+    if cache is not None and cache.lines is lines:
+        return cache
+    cache = LineOrderCache(lines)
+    if isinstance(lines, np.ndarray) and lines.dtype == np.uint64:
+        _order_caches[key] = cache
+        while len(_order_caches) > _ORDER_CACHE_CAPACITY:
+            del _order_caches[next(iter(_order_caches))]
+    return cache
+
+
+def clear_order_caches() -> None:
+    """Drop all memoized sort orders (tests use this for isolation)."""
+    _order_caches.clear()
+
+
+def miss_mask_direct_mapped(
+    lines: np.ndarray, n_sets: int, order: np.ndarray | None = None
+) -> np.ndarray:
     """Per-reference miss mask of a direct-mapped cache with ``n_sets`` sets.
 
     A direct-mapped set holds exactly one line, so a reference hits iff
     the immediately preceding reference to its set had the same tag.
     Grouping references by set with a stable sort makes that a purely
-    vectorized comparison.
+    vectorized comparison.  The sort is memoized per line array (see
+    :class:`LineOrderCache`); pass ``order`` to supply a precomputed
+    one explicitly.
     """
     check_power_of_two("n_sets", n_sets)
     lines = np.asarray(lines, dtype=np.uint64)
     n = len(lines)
     if n == 0:
         return np.zeros(0, dtype=bool)
+    if order is None:
+        order = line_order_cache(lines).order(n_sets)
     sets = lines & np.uint64(n_sets - 1)
-    order = np.argsort(sets, kind="stable")
     sorted_sets = sets[order]
     sorted_lines = lines[order]
     miss_sorted = np.ones(n, dtype=bool)
@@ -143,15 +225,14 @@ def lru_stack_distances(lines: np.ndarray) -> np.ndarray:
 
 
 def compulsory_mask(lines: np.ndarray) -> np.ndarray:
-    """Mask of first-touch (compulsory-miss) references."""
+    """Mask of first-touch (compulsory-miss) references.
+
+    Memoized per line array through :class:`LineOrderCache` — the
+    underlying ``np.unique`` is a full sort, and three-Cs sweeps ask
+    for the same stream's mask at every cache size.
+    """
     lines = np.asarray(lines, dtype=np.uint64)
-    n = len(lines)
-    mask = np.zeros(n, dtype=bool)
-    if n == 0:
-        return mask
-    _, first_indices = np.unique(lines, return_index=True)
-    mask[first_indices] = True
-    return mask
+    return line_order_cache(lines).compulsory()
 
 
 def count_misses(

@@ -8,6 +8,13 @@ Subcommands:
 * ``report`` — run everything (the ``tools/make_report.py`` behaviour).
 * ``trace NAME`` — synthesize a workload trace and archive it to disk.
 * ``evaluate NAME`` — one workload against a named configuration.
+* ``cache info|clear`` — inspect or wipe the on-disk trace cache.
+
+Global flags: ``--jobs N`` fans experiment cells over a process pool
+(results are bit-identical to serial), ``--cache-dir``/``REPRO_CACHE_DIR``
+selects the persistent trace cache, ``--no-disk-cache`` disables it, and
+``--timing-out FILE`` writes the per-cell/per-phase wall-time report as
+JSON.
 """
 
 from __future__ import annotations
@@ -19,17 +26,27 @@ from repro.core.config import MemorySystemConfig
 from repro.core.study import MECHANISMS, evaluate
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 from repro.experiments.common import ExperimentSettings
+from repro.runner.cache import CACHE_DIR_ENV, TraceDiskCache, cache_from_environment
+from repro.runner.pool import run_experiment, run_report
 from repro.trace.io import save_trace
 from repro.workloads.registry import (
     get_workload,
     list_workloads,
+    set_trace_cache_backend,
     suite_names,
+    trace_cache_backend,
 )
 from repro.workloads.generator import synthesize_trace
 
 
 def _settings(args) -> ExperimentSettings:
     return ExperimentSettings(n_instructions=args.instructions, seed=args.seed)
+
+
+def _write_timing(args, report) -> None:
+    if getattr(args, "timing_out", None):
+        report.write(args.timing_out)
+        print(f"timing report written to {args.timing_out}", file=sys.stderr)
 
 
 def _cmd_list(args) -> int:
@@ -53,8 +70,11 @@ def _cmd_experiment(args) -> int:
             file=sys.stderr,
         )
         return 2
-    result = module.run(_settings(args))
+    result, report = run_experiment(
+        module, _settings(args), jobs=args.jobs, label=args.name
+    )
     print(result.render())
+    _write_timing(args, report)
     return 0
 
 
@@ -63,9 +83,11 @@ def _cmd_report(args) -> int:
     registry = dict(ALL_EXPERIMENTS)
     if args.extensions:
         registry.update(EXTENSION_EXPERIMENTS)
-    for name, module in registry.items():
-        print(module.run(settings).render())
+    renderings, report = run_report(registry, settings, jobs=args.jobs)
+    for _, rendering in renderings:
+        print(rendering)
         print()
+    _write_timing(args, report)
     return 0
 
 
@@ -102,6 +124,35 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    backend = trace_cache_backend()
+    if backend is None:
+        print(
+            "no cache configured; set --cache-dir or the "
+            f"{CACHE_DIR_ENV} environment variable"
+        )
+        return 0 if args.action == "info" else 2
+    if args.action == "clear":
+        removed = backend.clear()
+        print(f"cleared {removed} entries from {backend.root}")
+        return 0
+    entries = backend.entries()
+    total = sum(info.bytes for info in entries)
+    print(f"cache directory: {backend.root}")
+    print(f"entries: {len(entries)}")
+    print(f"total bytes: {total:,}")
+    if entries:
+        print("\nper-workload breakdown:")
+        for info in entries:
+            print(
+                f"  {info.name:12s} {info.os_name:8s} "
+                f"n={info.n_instructions:>9,} seed={info.seed} "
+                f"{info.bytes:>12,} B  "
+                f"{info.artifacts} line-run artifact(s)"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,6 +161,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--instructions", type=int, default=400_000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for experiment cells (0 = all cores; "
+        "results are bit-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help=f"on-disk trace cache (default: ${CACHE_DIR_ENV})",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="disable the on-disk trace cache for this run",
+    )
+    parser.add_argument(
+        "--timing-out", metavar="FILE",
+        help="write the per-cell/per-phase timing report as JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads, suites and experiments")
@@ -135,19 +203,43 @@ def build_parser() -> argparse.ArgumentParser:
                         default="economy")
     p_eval.add_argument("--mechanism", choices=list(MECHANISMS),
                         default="demand")
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the trace cache")
+    p_cache.add_argument("action", choices=["info", "clear"])
     return parser
+
+
+def _apply_cache_flags(args) -> None:
+    """Resolve the disk-cache tri-state before dispatching a command."""
+    if args.no_disk_cache:
+        set_trace_cache_backend(None)
+    elif args.cache_dir:
+        set_trace_cache_backend(TraceDiskCache(args.cache_dir))
+    else:
+        set_trace_cache_backend(cache_from_environment())
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_cache_flags(args)
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "trace": _cmd_trace,
         "evaluate": _cmd_evaluate,
+        "cache": _cmd_cache,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed early (`repro cache info | head`).
+        # Point stdout at devnull so interpreter shutdown doesn't try to
+        # flush into the broken pipe and print a spurious traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

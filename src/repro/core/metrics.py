@@ -23,6 +23,7 @@ from repro._util.bitops import ilog2
 from repro.caches.base import CacheGeometry
 from repro.caches.classify import ThreeCs
 from repro.caches.vectorized import compulsory_mask, miss_mask_set_associative
+from repro.runner import timing
 from repro.trace.rle import LineRuns
 
 #: Fraction of instructions excluded from measurement (state still
@@ -99,14 +100,29 @@ def measure_mpi(
             f"runs encoded at {runs.line_size} B cannot drive a "
             f"{geometry.line_size} B-line cache"
         )
-    shift = ilog2(geometry.line_size) - ilog2(runs.line_size)
-    lines = runs.lines >> np.uint64(shift)
-    mask = miss_mask_set_associative(lines, geometry.n_sets, geometry.associativity)
+    lines = _lines_at(runs, geometry.line_size)
+    with timing.phase(timing.PHASE_SIMULATE):
+        mask = miss_mask_set_associative(
+            lines, geometry.n_sets, geometry.associativity
+        )
     cut, instructions = warmup_cut(runs, warmup_fraction)
     return MpiMeasurement(
         misses=int(mask[cut:].sum()),
         instructions=instructions,
     )
+
+
+def _lines_at(runs: LineRuns, line_size: int) -> np.ndarray:
+    """``runs.lines`` coarsened to ``line_size`` granularity.
+
+    Returns the *same* array object when no coarsening is needed, so
+    the per-array sort memoization in :mod:`repro.caches.vectorized`
+    can recognize repeated sweeps over one stream.
+    """
+    shift = ilog2(line_size) - ilog2(runs.line_size)
+    if shift == 0:
+        return runs.lines
+    return runs.lines >> np.uint64(shift)
 
 
 def measure_three_cs(
@@ -127,23 +143,23 @@ def measure_three_cs(
             f"runs encoded at {runs.line_size} B cannot drive a "
             f"{geometry.line_size} B-line cache"
         )
-    shift = ilog2(geometry.line_size) - ilog2(runs.line_size)
-    lines = runs.lines >> np.uint64(shift)
+    lines = _lines_at(runs, geometry.line_size)
     cut, instructions = warmup_cut(runs, warmup_fraction)
 
-    compulsory = int(compulsory_mask(lines)[cut:].sum())
-    reference_misses = int(
-        miss_mask_set_associative(
-            lines,
-            geometry.n_lines // reference_associativity,
-            reference_associativity,
-        )[cut:].sum()
-    )
-    actual_misses = int(
-        miss_mask_set_associative(
-            lines, geometry.n_sets, geometry.associativity
-        )[cut:].sum()
-    )
+    with timing.phase(timing.PHASE_SIMULATE):
+        compulsory = int(compulsory_mask(lines)[cut:].sum())
+        reference_misses = int(
+            miss_mask_set_associative(
+                lines,
+                geometry.n_lines // reference_associativity,
+                reference_associativity,
+            )[cut:].sum()
+        )
+        actual_misses = int(
+            miss_mask_set_associative(
+                lines, geometry.n_sets, geometry.associativity
+            )[cut:].sum()
+        )
     breakdown = ThreeCs(
         compulsory=compulsory,
         capacity=max(reference_misses - compulsory, 0),

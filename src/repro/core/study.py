@@ -25,7 +25,7 @@ from repro.fetch.markov import MarkovPrefetchEngine
 from repro.fetch.prefetch import PrefetchOnMissEngine
 from repro.fetch.streambuf import StreamBufferEngine
 from repro.fetch.victim import VictimCacheEngine
-from repro.trace.rle import to_line_runs
+from repro.runner import timing
 from repro.trace.trace import Trace
 from repro.workloads.registry import DEFAULT_TRACE_INSTRUCTIONS, get_trace
 
@@ -105,15 +105,17 @@ def evaluate_trace(
     **options,
 ) -> StudyResult:
     """Evaluate a configuration against an already-synthesized trace."""
-    ifetch = trace.ifetch_addresses()
-    l1_runs = to_line_runs(ifetch, config.l1.line_size)
+    l1_runs = trace.ifetch_line_runs(config.l1.line_size)
     engine = make_engine(config, mechanism, **options)
-    l1_result = engine.run(l1_runs, warmup_fraction)
+    with timing.phase(timing.PHASE_SIMULATE):
+        l1_result = engine.run(l1_runs, warmup_fraction)
 
     cpi_l2 = 0.0
     l2_mpi = 0.0
     if config.l2 is not None:
-        l2_runs = to_line_runs(ifetch, min(config.l2.line_size, config.l1.line_size))
+        l2_runs = trace.ifetch_line_runs(
+            min(config.l2.line_size, config.l1.line_size)
+        )
         l2_measure = measure_mpi(l2_runs, config.l2, warmup_fraction)
         l2_mpi = l2_measure.mpi
         cpi_l2 = l2_measure.cpi_contribution(config.l2_miss_penalty)

@@ -1,8 +1,10 @@
 """Shared experiment harness.
 
 Each experiment sweeps configurations over workload suites; this module
-provides the common plumbing: settings, cached trace access, and
-suite-averaged evaluation helpers.
+provides the common plumbing: settings, cached trace access,
+suite-averaged evaluation helpers, and the cell API
+(:class:`~repro.runner.pool.ExperimentCell`) through which the parallel
+runner schedules an experiment's independent units.
 """
 
 from __future__ import annotations
@@ -14,13 +16,26 @@ import numpy as np
 from repro.core.config import MemorySystemConfig
 from repro.core.metrics import DEFAULT_WARMUP_FRACTION
 from repro.core.study import StudyResult, evaluate_trace
-from repro.trace.rle import LineRuns, to_line_runs
+from repro.runner.pool import ExperimentCell, has_cells
+from repro.trace.rle import LineRuns
 from repro.trace.trace import Trace
 from repro.workloads.registry import (
     DEFAULT_TRACE_INSTRUCTIONS,
+    get_line_runs,
     get_trace,
     suite_workloads,
 )
+
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "ExperimentCell",
+    "ExperimentSettings",
+    "has_cells",
+    "suite_cpi_instr",
+    "suite_evaluate",
+    "suite_runs",
+    "suite_traces",
+]
 
 
 @dataclass(frozen=True)
@@ -64,10 +79,16 @@ def suite_runs(
     line_size: int,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> list[LineRuns]:
-    """RLE instruction streams of a whole suite at one line size."""
+    """RLE instruction streams of a whole suite at one line size.
+
+    Served through the registry's derived-artifact memoization: each
+    (workload, line size) stream is encoded at most once per process
+    and — with the on-disk cache enabled — once ever.
+    """
     return [
-        to_line_runs(trace.ifetch_addresses(), line_size)
-        for trace in suite_traces(suite, settings)
+        get_line_runs(name, os_name, settings.n_instructions, settings.seed,
+                      line_size)
+        for name, os_name in suite_workloads(suite)
     ]
 
 

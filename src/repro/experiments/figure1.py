@@ -25,6 +25,7 @@ from repro.caches.classify import ThreeCsRates
 from repro.core.metrics import measure_three_cs
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
     suite_runs,
 )
@@ -77,6 +78,51 @@ class Figure1Result:
         return max(ibs_curve)
 
 
+def _measure_point(
+    suite: str, size: int, settings: ExperimentSettings
+) -> ThreeCsRates:
+    """One cell: the suite-mean three-Cs rates at one cache size."""
+    geometry = CacheGeometry(size, LINE_SIZE, 1)
+    rates = []
+    for runs in suite_runs(suite, LINE_SIZE, settings):
+        breakdown, instructions = measure_three_cs(
+            runs, geometry, settings.warmup_fraction
+        )
+        rates.append(breakdown.per_instruction(instructions))
+    return ThreeCsRates(
+        compulsory=float(np.mean([r.compulsory for r in rates])),
+        capacity=float(np.mean([r.capacity for r in rates])),
+        conflict=float(np.mean([r.conflict for r in rates])),
+    )
+
+
+def _cells(
+    settings: ExperimentSettings, cache_sizes: tuple[int, ...]
+) -> list[ExperimentCell]:
+    return [
+        ExperimentCell(key=(suite, size), fn=_measure_point,
+                       args=(suite, size, settings))
+        for suite in SUITES
+        for size in cache_sizes
+    ]
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per (suite, cache size) curve point."""
+    return _cells(settings, CACHE_SIZES)
+
+
+def merge(
+    settings: ExperimentSettings, results: list[ThreeCsRates]
+) -> Figure1Result:
+    """Reassemble the per-point rates into both suites' curves."""
+    curves: dict[str, dict[int, ThreeCsRates]] = {}
+    iterator = iter(results)
+    for suite in SUITES:
+        curves[suite] = {size: next(iterator) for size in CACHE_SIZES}
+    return Figure1Result(curves=curves)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     cache_sizes: tuple[int, ...] = CACHE_SIZES,
@@ -84,20 +130,8 @@ def run(
     """Reproduce Figure 1 for both suites across the size range."""
     curves: dict[str, dict[int, ThreeCsRates]] = {}
     for suite in SUITES:
-        all_runs = suite_runs(suite, LINE_SIZE, settings)
-        curve: dict[int, ThreeCsRates] = {}
-        for size in cache_sizes:
-            geometry = CacheGeometry(size, LINE_SIZE, 1)
-            rates = []
-            for runs in all_runs:
-                breakdown, instructions = measure_three_cs(
-                    runs, geometry, settings.warmup_fraction
-                )
-                rates.append(breakdown.per_instruction(instructions))
-            curve[size] = ThreeCsRates(
-                compulsory=float(np.mean([r.compulsory for r in rates])),
-                capacity=float(np.mean([r.capacity for r in rates])),
-                conflict=float(np.mean([r.conflict for r in rates])),
-            )
-        curves[suite] = curve
+        curves[suite] = {
+            size: _measure_point(suite, size, settings)
+            for size in cache_sizes
+        }
     return Figure1Result(curves=curves)

@@ -19,6 +19,7 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
     suite_cpi_instr,
 )
@@ -80,6 +81,74 @@ class Figure3Result:
         return size, line, value
 
 
+def _base_config(config_name: str) -> MemorySystemConfig:
+    if config_name == "economy":
+        return MemorySystemConfig.economy()
+    return MemorySystemConfig.high_performance()
+
+
+def _evaluate_point(
+    config_name: str,
+    size: int,
+    line_size: int,
+    suite: str,
+    settings: ExperimentSettings,
+) -> tuple[float, float]:
+    """One cell: suite-mean (L1, L2) CPIinstr at one L2 design point."""
+    config = _base_config(config_name).with_l2(
+        CacheGeometry(size, line_size, 1)
+    )
+    return suite_cpi_instr(suite, config, "demand", settings)
+
+
+def _enumerate_points(
+    l2_sizes: tuple[int, ...], l2_line_sizes: tuple[int, ...]
+) -> list[tuple[str, int, int]]:
+    return [
+        (config_name, size, line_size)
+        for config_name in CONFIG_NAMES
+        for size in l2_sizes
+        for line_size in l2_line_sizes
+        if line_size <= size
+    ]
+
+
+def _cells(
+    settings: ExperimentSettings,
+    l2_sizes: tuple[int, ...],
+    l2_line_sizes: tuple[int, ...],
+    suite: str,
+) -> list[ExperimentCell]:
+    return [
+        ExperimentCell(key=point, fn=_evaluate_point,
+                       args=(*point, suite, settings))
+        for point in _enumerate_points(l2_sizes, l2_line_sizes)
+    ]
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per feasible (configuration, L2 size, L2 line) point."""
+    return _cells(settings, L2_SIZES, L2_LINE_SIZES, "ibs-mach3")
+
+
+def _merge_points(
+    points: list[tuple[str, int, int]], results: list[tuple[float, float]]
+) -> Figure3Result:
+    cells_out: dict[tuple[str, int, int], float] = {}
+    l1_contribution = 0.0
+    for point, (l1, l2) in zip(points, results):
+        cells_out[point] = l1 + l2
+        l1_contribution = l1  # identical across L2 points
+    return Figure3Result(cells=cells_out, l1_contribution=l1_contribution)
+
+
+def merge(
+    settings: ExperimentSettings, results: list[tuple[float, float]]
+) -> Figure3Result:
+    """Reassemble the sweep table from the per-point cells."""
+    return _merge_points(_enumerate_points(L2_SIZES, L2_LINE_SIZES), results)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     l2_sizes: tuple[int, ...] = L2_SIZES,
@@ -87,19 +156,8 @@ def run(
     suite: str = "ibs-mach3",
 ) -> Figure3Result:
     """Reproduce Figure 3's design-space sweep."""
-    bases = {
-        "economy": MemorySystemConfig.economy(),
-        "high-performance": MemorySystemConfig.high_performance(),
-    }
-    cells: dict[tuple[str, int, int], float] = {}
-    l1_contribution = 0.0
-    for config_name, base in bases.items():
-        for size in l2_sizes:
-            for line_size in l2_line_sizes:
-                if line_size > size:
-                    continue
-                config = base.with_l2(CacheGeometry(size, line_size, 1))
-                l1, l2 = suite_cpi_instr(suite, config, "demand", settings)
-                cells[(config_name, size, line_size)] = l1 + l2
-                l1_contribution = l1  # identical across L2 points
-    return Figure3Result(cells=cells, l1_contribution=l1_contribution)
+    points = _enumerate_points(l2_sizes, l2_line_sizes)
+    results = [
+        _evaluate_point(*point, suite, settings) for point in points
+    ]
+    return _merge_points(points, results)

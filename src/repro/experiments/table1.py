@@ -15,8 +15,13 @@ import numpy as np
 
 from repro._util.fmt import format_table
 from repro.core.cpi import CpiBreakdown
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, suite_traces
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentCell,
+    ExperimentSettings,
+)
 from repro.monitor.hwcounters import DECSTATION_3100, HardwareMonitor
+from repro.workloads.registry import get_trace, suite_workloads
 
 #: The paper's measured values: suite -> (total memory CPI, I, D, TLB, write).
 PAPER = {
@@ -72,15 +77,38 @@ class Table1Result:
         )
 
 
-def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table1Result:
-    """Reproduce Table 1 over all four SPEC suites."""
+def _measure_workload(
+    name: str, os_name: str, settings: ExperimentSettings
+) -> CpiBreakdown:
+    """One cell: the CPI breakdown of a single workload's trace."""
     monitor = HardwareMonitor(DECSTATION_3100)
+    trace = get_trace(name, os_name, settings.n_instructions, settings.seed)
+    return monitor.measure(trace, settings.warmup_fraction)
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per (suite, workload) measurement."""
+    return [
+        ExperimentCell(
+            key=(suite, name, os_name),
+            fn=_measure_workload,
+            args=(name, os_name, settings),
+        )
+        for suite in PAPER
+        for name, os_name in suite_workloads(suite)
+    ]
+
+
+def merge(
+    settings: ExperimentSettings, results: list[CpiBreakdown]
+) -> Table1Result:
+    """Suite-average the per-workload breakdowns (deterministic order)."""
     rows: dict[str, CpiBreakdown] = {}
+    cursor = 0
     for suite in PAPER:
-        breakdowns = [
-            monitor.measure(trace, settings.warmup_fraction)
-            for trace in suite_traces(suite, settings)
-        ]
+        count = len(suite_workloads(suite))
+        breakdowns = results[cursor : cursor + count]
+        cursor += count
         rows[suite] = CpiBreakdown(
             instr_l1=float(np.mean([b.instr_l1 for b in breakdowns])),
             data=float(np.mean([b.data for b in breakdowns])),
@@ -88,3 +116,8 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table1Result:
             tlb=float(np.mean([b.tlb for b in breakdowns])),
         )
     return Table1Result(rows=rows)
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table1Result:
+    """Reproduce Table 1 over all four SPEC suites."""
+    return merge(settings, [cell.fn(*cell.args) for cell in cells(settings)])

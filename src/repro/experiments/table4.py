@@ -19,12 +19,15 @@ import numpy as np
 from repro._util.fmt import format_table
 from repro.caches.base import CacheGeometry
 from repro.core.metrics import measure_mpi
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentCell,
+    ExperimentSettings,
+)
 from repro.trace.record import Component
-from repro.trace.rle import to_line_runs
 from repro.trace.stats import component_mix
 from repro.workloads.ibs import IBS_WORKLOADS
-from repro.workloads.registry import get_trace, suite_workloads
+from repro.workloads.registry import get_line_runs, get_trace, suite_workloads
 
 #: The reference cache of Table 4.
 REFERENCE_CACHE = CacheGeometry(size_bytes=8192, line_size=32, associativity=1)
@@ -100,34 +103,69 @@ class Table4Result:
         )
 
 
-def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table4Result:
-    """Reproduce Table 4: per-workload MPI under Mach plus suite means."""
-    workloads: dict[str, Table4Row] = {}
-    for name in IBS_WORKLOADS:
-        trace = get_trace(name, "mach3", settings.n_instructions, settings.seed)
-        runs = to_line_runs(trace.ifetch_addresses(), REFERENCE_CACHE.line_size)
-        measurement = measure_mpi(runs, REFERENCE_CACHE, settings.warmup_fraction)
-        workloads[name] = Table4Row(
-            mpi_per_100=measurement.mpi_per_100,
-            components=component_mix(trace),
-        )
+_AVERAGE_SUITES = ("ibs-ultrix", "spec92")
 
+
+def _measure_row(name: str, settings: ExperimentSettings) -> Table4Row:
+    """One cell: MPI and component mix of one Mach workload."""
+    trace = get_trace(name, "mach3", settings.n_instructions, settings.seed)
+    runs = get_line_runs(
+        name, "mach3", settings.n_instructions, settings.seed,
+        REFERENCE_CACHE.line_size,
+    )
+    measurement = measure_mpi(runs, REFERENCE_CACHE, settings.warmup_fraction)
+    return Table4Row(
+        mpi_per_100=measurement.mpi_per_100,
+        components=component_mix(trace),
+    )
+
+
+def _measure_mpi_only(
+    name: str, os_name: str, settings: ExperimentSettings
+) -> float:
+    """One cell: reference-cache MPI/100 of one workload."""
+    runs = get_line_runs(
+        name, os_name, settings.n_instructions, settings.seed,
+        REFERENCE_CACHE.line_size,
+    )
+    return measure_mpi(
+        runs, REFERENCE_CACHE, settings.warmup_fraction
+    ).mpi_per_100
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per Mach workload row, plus the comparison-suite cells."""
+    cell_list = [
+        ExperimentCell(key=("mach3", name), fn=_measure_row,
+                       args=(name, settings))
+        for name in IBS_WORKLOADS
+    ]
+    for suite in _AVERAGE_SUITES:
+        cell_list.extend(
+            ExperimentCell(key=(suite, name), fn=_measure_mpi_only,
+                           args=(name, os_name, settings))
+            for name, os_name in suite_workloads(suite)
+        )
+    return cell_list
+
+
+def merge(settings: ExperimentSettings, results: list) -> Table4Result:
+    """Reassemble rows and suite means from the per-workload cells."""
+    names = list(IBS_WORKLOADS)
+    workloads: dict[str, Table4Row] = dict(zip(names, results))
     averages: dict[str, float] = {
         "ibs-mach3": float(
             np.mean([row.mpi_per_100 for row in workloads.values()])
         )
     }
-    for suite in ("ibs-ultrix", "spec92"):
-        values = []
-        for name, os_name in suite_workloads(suite):
-            trace = get_trace(name, os_name, settings.n_instructions, settings.seed)
-            runs = to_line_runs(
-                trace.ifetch_addresses(), REFERENCE_CACHE.line_size
-            )
-            values.append(
-                measure_mpi(
-                    runs, REFERENCE_CACHE, settings.warmup_fraction
-                ).mpi_per_100
-            )
-        averages[suite] = float(np.mean(values))
+    cursor = len(names)
+    for suite in _AVERAGE_SUITES:
+        count = len(suite_workloads(suite))
+        averages[suite] = float(np.mean(results[cursor : cursor + count]))
+        cursor += count
     return Table4Result(workloads=workloads, averages=averages)
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table4Result:
+    """Reproduce Table 4: per-workload MPI under Mach plus suite means."""
+    return merge(settings, [cell.fn(*cell.args) for cell in cells(settings)])

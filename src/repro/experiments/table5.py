@@ -14,6 +14,7 @@ from repro._util.fmt import format_table
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
     suite_cpi_instr,
 )
@@ -61,15 +62,44 @@ class Table5Result:
         )
 
 
+_CONFIG_NAMES = ("economy", "high-performance")
+_SUITES = ("spec92", "ibs-mach3")
+
+
+def _config(config_name: str) -> MemorySystemConfig:
+    if config_name == "economy":
+        return MemorySystemConfig.economy()
+    return MemorySystemConfig.high_performance()
+
+
+def _evaluate_cell(
+    config_name: str, suite: str, settings: ExperimentSettings
+) -> float:
+    """One cell: suite-mean total CPIinstr of one baseline."""
+    l1, l2 = suite_cpi_instr(suite, _config(config_name), "demand", settings)
+    return l1 + l2
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per (configuration, suite) table entry."""
+    return [
+        ExperimentCell(key=(config_name, suite), fn=_evaluate_cell,
+                       args=(config_name, suite, settings))
+        for config_name in _CONFIG_NAMES
+        for suite in _SUITES
+    ]
+
+
+def merge(settings: ExperimentSettings, results: list[float]) -> Table5Result:
+    """Zip cell results back into the table layout."""
+    keys = [
+        (config_name, suite)
+        for config_name in _CONFIG_NAMES
+        for suite in _SUITES
+    ]
+    return Table5Result(cells=dict(zip(keys, results)))
+
+
 def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table5Result:
     """Reproduce Table 5: both baselines, both suites."""
-    configs = {
-        "economy": MemorySystemConfig.economy(),
-        "high-performance": MemorySystemConfig.high_performance(),
-    }
-    cells: dict[tuple[str, str], float] = {}
-    for config_name, config in configs.items():
-        for suite in ("spec92", "ibs-mach3"):
-            l1, l2 = suite_cpi_instr(suite, config, "demand", settings)
-            cells[(config_name, suite)] = l1 + l2
-    return Table5Result(cells=cells)
+    return merge(settings, [cell.fn(*cell.args) for cell in cells(settings)])

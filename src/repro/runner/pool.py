@@ -1,0 +1,196 @@
+"""Process-pool execution of experiment cells with deterministic merge.
+
+The paper's results are sweeps — hundreds of (workload x configuration)
+cells — and every cell is independent: synthesize/load a trace, encode
+it, simulate, reduce.  This module fans cells across a
+``ProcessPoolExecutor`` and merges the results *in enumeration order*,
+so a ``--jobs 8`` run produces bit-identical tables to a serial one:
+each cell's arithmetic is unchanged and the merge order is fixed by the
+cell list, not by completion order.
+
+Experiment modules opt in by exposing::
+
+    cells(settings)  -> list[ExperimentCell]   # schedulable units
+    merge(settings, results) -> Result         # results align with cells
+
+Modules without the pair still run under the pool as a single cell
+(``repro report`` additionally schedules whole experiments side by
+side).  Worker processes re-apply the parent's trace-cache
+configuration, so all workers share one on-disk cache and memory-map
+the same trace files instead of each synthesizing private copies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import multiprocessing
+
+from repro.runner import timing
+from repro.runner.timing import CellTiming, TimingReport
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One independently schedulable unit of an experiment.
+
+    Attributes:
+        key: stable identity, used for merge order and timing reports.
+        fn: a module-level (picklable) function computing the cell.
+        args: positional arguments for ``fn`` (must be picklable).
+    """
+
+    key: tuple
+    fn: Callable
+    args: tuple = field(default_factory=tuple)
+
+
+def has_cells(module) -> bool:
+    """Whether an experiment module exposes the cell API."""
+    return hasattr(module, "cells") and hasattr(module, "merge")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value (``None``/``0`` = all cores)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _execute_cell(key: tuple, fn: Callable, args: tuple):
+    """Run one cell under a fresh phase accumulator (worker side)."""
+    timing.reset()
+    start = time.perf_counter()
+    result = fn(*args)
+    wall = time.perf_counter() - start
+    cell_timing = CellTiming(
+        key=key, wall_seconds=wall, phases=timing.snapshot(reset=True)
+    )
+    return result, cell_timing
+
+
+def _registry_snapshot() -> dict:
+    """The parent's trace-cache configuration, for worker re-application."""
+    from repro.workloads import registry
+
+    backend = registry.trace_cache_backend()
+    stats = registry.trace_cache_stats()
+    return {
+        "cache_dir": getattr(backend, "root", None),
+        "max_entries": stats["max_entries"],
+        "max_bytes": stats["max_bytes"],
+    }
+
+
+def _worker_init(config: dict) -> None:
+    """Apply the parent's cache configuration in a worker process."""
+    from repro.runner.cache import TraceDiskCache
+    from repro.workloads import registry
+
+    cache_dir = config.get("cache_dir")
+    registry.set_trace_cache_backend(
+        TraceDiskCache(cache_dir) if cache_dir else None
+    )
+    registry.configure_trace_cache(
+        config.get("max_entries"), config.get("max_bytes")
+    )
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits warm state) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def run_cells(
+    cells: Sequence[ExperimentCell], jobs: int = 1
+) -> tuple[list, list[CellTiming]]:
+    """Execute ``cells`` and return (results, timings) in cell order.
+
+    ``jobs <= 1`` runs in-process; anything larger fans out over a
+    process pool.  Either way the returned lists align with ``cells``,
+    which is what makes parallel merges deterministic.
+    """
+    jobs = min(resolve_jobs(jobs), max(len(cells), 1))
+    if jobs <= 1 or len(cells) <= 1:
+        outcomes = [_execute_cell(c.key, c.fn, c.args) for c in cells]
+    else:
+        config = _registry_snapshot()
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=_pool_context(),
+            initializer=_worker_init,
+            initargs=(config,),
+        ) as pool:
+            futures = [
+                pool.submit(_execute_cell, c.key, c.fn, c.args) for c in cells
+            ]
+            outcomes = [future.result() for future in futures]
+    results = [result for result, _ in outcomes]
+    timings = [cell_timing for _, cell_timing in outcomes]
+    return results, timings
+
+
+def run_experiment(
+    module, settings, jobs: int = 1, label: str | None = None
+):
+    """Run one experiment module, parallelized over its cells.
+
+    Modules exposing ``cells``/``merge`` are decomposed; others run as a
+    single cell.  Returns ``(result, TimingReport)``; the result is
+    bit-identical to ``module.run(settings)``.
+    """
+    if label is None:
+        label = module.__name__.rsplit(".", 1)[-1]
+    start = time.perf_counter()
+    if has_cells(module):
+        cell_list = module.cells(settings)
+        results, timings = run_cells(cell_list, jobs)
+        result = module.merge(settings, results)
+    else:
+        cell_list = [ExperimentCell(key=(label,), fn=module.run, args=(settings,))]
+        results, timings = run_cells(cell_list, jobs)
+        result = results[0]
+    wall = time.perf_counter() - start
+    report = TimingReport(
+        label=label, jobs=resolve_jobs(jobs), wall_seconds=wall,
+        cells=tuple(timings),
+    )
+    return result, report
+
+
+def _run_module_cell(name: str, settings) -> str:
+    """Report cell: run one whole experiment and return its rendering."""
+    from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+
+    module = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}[name]
+    return module.run(settings).render()
+
+
+def run_report(
+    modules: Mapping[str, object], settings, jobs: int = 1
+) -> tuple[list[tuple[str, str]], TimingReport]:
+    """Run many experiments side by side (the ``repro report`` engine).
+
+    Parallelism is at experiment granularity: each module is one cell
+    returning its rendered table.  Returns ``[(name, rendering), ...]``
+    in the order of ``modules`` plus the aggregate timing report.
+    """
+    start = time.perf_counter()
+    cell_list = [
+        ExperimentCell(key=(name,), fn=_run_module_cell, args=(name, settings))
+        for name in modules
+    ]
+    results, timings = run_cells(cell_list, jobs)
+    wall = time.perf_counter() - start
+    report = TimingReport(
+        label="report", jobs=resolve_jobs(jobs), wall_seconds=wall,
+        cells=tuple(timings),
+    )
+    return list(zip(modules, results)), report

@@ -1,0 +1,152 @@
+"""Per-phase wall-time accounting for the experiment runner.
+
+The sweep engine wants to know *where* an experiment's wall-clock time
+goes — synthesizing traces, run-length encoding them, or simulating
+caches — so perf work on the runner has a measured baseline instead of
+guesses.  The hot paths mark themselves with the :func:`phase` context
+manager; the pool runner snapshots the per-thread accumulator around
+every experiment cell and merges the results into a
+:class:`TimingReport` written as JSON next to the experiment output.
+
+Nesting attributes time to the *innermost* phase only: a ``simulate``
+block that internally re-encodes a stream under a ``line-runs`` phase
+reports the encoding time as ``line-runs``, not twice.  The overhead is
+two ``perf_counter`` calls per phase entry, far below the milliseconds
+the instrumented phases take.
+
+This module deliberately imports nothing from the rest of the library so
+the low-level modules (registry, RLE encoder, metrics) can use it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Phase names used by the instrumented library code.
+PHASE_SYNTHESIZE = "synthesize"
+PHASE_TRACE_LOAD = "trace-load"
+PHASE_LINE_RUNS = "line-runs"
+PHASE_SIMULATE = "simulate"
+
+_state = threading.local()
+
+
+def _frames() -> list[list]:
+    frames = getattr(_state, "frames", None)
+    if frames is None:
+        frames = _state.frames = []
+    return frames
+
+
+def _phases() -> dict[str, float]:
+    phases = getattr(_state, "phases", None)
+    if phases is None:
+        phases = _state.phases = {}
+    return phases
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Attribute the wall time of the enclosed block to ``name``.
+
+    Re-entrant: time spent in a nested phase is charged to the inner
+    phase and subtracted from the outer one.
+    """
+    frames = _frames()
+    # frame = [name, start, time consumed by nested phases]
+    frame = [name, time.perf_counter(), 0.0]
+    frames.append(frame)
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - frame[1]
+        frames.pop()
+        phases = _phases()
+        phases[name] = phases.get(name, 0.0) + max(elapsed - frame[2], 0.0)
+        if frames:
+            frames[-1][2] += elapsed
+
+
+def snapshot(reset: bool = False) -> dict[str, float]:
+    """The accumulated seconds per phase on this thread (a copy)."""
+    phases = dict(_phases())
+    if reset:
+        _phases().clear()
+    return phases
+
+
+def reset() -> None:
+    """Zero this thread's phase accumulator."""
+    _phases().clear()
+    del _frames()[:]
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock accounting of one experiment cell.
+
+    Attributes:
+        key: the cell's identity (experiment-specific tuple).
+        wall_seconds: total wall time of the cell.
+        phases: seconds per instrumented phase inside the cell; the
+            remainder (``wall - sum(phases)``) is uninstrumented glue.
+    """
+
+    key: tuple
+    wall_seconds: float
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": list(self.key),
+            "wall_seconds": self.wall_seconds,
+            "phases": dict(self.phases),
+        }
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Aggregated timing of one runner invocation.
+
+    Attributes:
+        label: what was run (experiment or report name).
+        jobs: worker processes used (1 = in-process serial).
+        wall_seconds: end-to-end wall time including scheduling.
+        cells: per-cell accounting in deterministic merge order.
+    """
+
+    label: str
+    jobs: int
+    wall_seconds: float
+    cells: tuple[CellTiming, ...]
+
+    @property
+    def phase_totals(self) -> dict[str, float]:
+        """Seconds per phase summed over all cells."""
+        totals: dict[str, float] = {}
+        for cell in self.cells:
+            for name, seconds in cell.phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "phase_totals": self.phase_totals,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Write the report as JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

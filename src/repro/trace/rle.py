@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util.bitops import ilog2
+from repro.runner import timing
 
 
 @dataclass(frozen=True)
@@ -60,13 +61,14 @@ def to_line_runs(addresses: np.ndarray, line_size: int) -> LineRuns:
     if len(addresses) == 0:
         empty64 = np.zeros(0, dtype=np.uint64)
         return LineRuns(empty64, np.zeros(0, np.int64), np.zeros(0, np.int64), line_size)
-    lines = addresses >> np.uint64(shift)
-    boundaries = np.empty(len(lines), dtype=bool)
-    boundaries[0] = True
-    np.not_equal(lines[1:], lines[:-1], out=boundaries[1:])
-    starts = np.flatnonzero(boundaries)
-    counts = np.empty(len(starts), dtype=np.int64)
-    counts[:-1] = np.diff(starts)
-    counts[-1] = len(lines) - starts[-1]
-    offsets = (addresses[starts] & np.uint64(line_size - 1)).astype(np.int64)
-    return LineRuns(lines[starts], counts, offsets, line_size)
+    with timing.phase(timing.PHASE_LINE_RUNS):
+        lines = addresses >> np.uint64(shift)
+        boundaries = np.empty(len(lines), dtype=bool)
+        boundaries[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        counts = np.empty(len(starts), dtype=np.int64)
+        counts[:-1] = np.diff(starts)
+        counts[-1] = len(lines) - starts[-1]
+        offsets = (addresses[starts] & np.uint64(line_size - 1)).astype(np.int64)
+        return LineRuns(lines[starts], counts, offsets, line_size)

@@ -111,8 +111,33 @@ class Trace:
         )
 
     def ifetch_addresses(self) -> np.ndarray:
-        """Addresses of instruction fetches only, in program order."""
-        return self.addresses[self.kinds == RefKind.IFETCH]
+        """Addresses of instruction fetches only, in program order.
+
+        Memoized: config sweeps ask for this once per evaluated cache
+        configuration, and the selection costs a full column scan.  The
+        returned array is marked read-only because it is shared.
+        """
+        key = "ifetch_addresses"
+        if key not in self._cache:
+            selected = self.addresses[self.kinds == RefKind.IFETCH]
+            selected.setflags(write=False)
+            self._cache[key] = selected
+        return self._cache[key]
+
+    def ifetch_line_runs(self, line_size: int) -> "LineRuns":
+        """The RLE instruction-fetch stream at ``line_size`` granularity.
+
+        Memoized per line size: every sweep over this trace re-encodes
+        the same stream, and the encoding (a sort-free but full-stream
+        pass) dominates small-config simulation time.  See
+        :func:`repro.trace.rle.to_line_runs`.
+        """
+        from repro.trace.rle import to_line_runs
+
+        key = ("ifetch_line_runs", line_size)
+        if key not in self._cache:
+            self._cache[key] = to_line_runs(self.ifetch_addresses(), line_size)
+        return self._cache[key]
 
     def line_addresses(self, line_size: int) -> np.ndarray:
         """All addresses truncated to ``line_size``-aligned line numbers."""

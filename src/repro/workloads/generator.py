@@ -38,6 +38,12 @@ from repro.workloads.codeimage import CodeImage, build_code_image
 from repro.workloads.datarefs import DataReferenceModel
 from repro.workloads.params import ComponentParams, WorkloadParams
 
+#: Version of the synthesis algorithm.  Bump whenever a change alters
+#: the trace produced for a given ``(params, n_instructions, seed)`` —
+#: it is part of the on-disk trace-cache key, so stale cached traces
+#: are never mistaken for current ones.
+GENERATOR_VERSION = 1
+
 
 class _ComponentWalker:
     """Per-component execution state: code image, call graph, reuse stack."""

@@ -1,13 +1,31 @@
 """Workload registry and trace cache.
 
 Central lookup for every workload model in the library, by name and OS,
-plus suite groupings matching the paper's aggregations and an in-memory
-trace cache so experiments that sweep hundreds of cache configurations
-over the same workloads synthesize each trace once.
+plus suite groupings matching the paper's aggregations and a two-level
+trace cache:
+
+* a **bounded in-memory LRU** so experiments that sweep hundreds of
+  cache configurations over the same workloads synthesize each trace
+  once, without letting a full ``repro report`` over every suite grow
+  memory without limit; and
+* an optional **persistent on-disk layer**
+  (:class:`repro.runner.cache.TraceDiskCache`) so fresh processes —
+  including the parallel sweep runner's workers — memory-map previously
+  synthesized traces instead of regenerating them.
+
+The disk layer is configured by the ``REPRO_CACHE_DIR`` environment
+variable, the CLI's ``--cache-dir`` flag, or programmatically via
+:func:`set_trace_cache_backend`; it is off by default.
 """
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
+
+from repro.runner import timing
+from repro.trace.rle import LineRuns
 from repro.trace.trace import Trace
 from repro.workloads.generator import synthesize_trace
 from repro.workloads.ibs import IBS_WORKLOADS
@@ -26,6 +44,13 @@ from repro.workloads.spec import (
 #: runs in minutes on a laptop.
 DEFAULT_TRACE_INSTRUCTIONS = 1_000_000
 
+#: Environment knobs bounding the in-memory trace cache.
+TRACE_CACHE_ENTRIES_ENV = "REPRO_TRACE_CACHE_ENTRIES"
+TRACE_CACHE_BYTES_ENV = "REPRO_TRACE_CACHE_BYTES"
+
+_DEFAULT_MAX_ENTRIES = 64
+_DEFAULT_MAX_BYTES = 2 * 1024**3
+
 _SUITES: dict[str, list[tuple[str, str]]] = {
     "ibs-mach3": [(name, MACH3) for name in IBS_WORKLOADS],
     "ibs-ultrix": [(name, ULTRIX) for name in IBS_WORKLOADS],
@@ -37,7 +62,107 @@ _SUITES: dict[str, list[tuple[str, str]]] = {
     "specfp89": [(name, "spec89") for name in SPEC89_FP_WORKLOADS],
 }
 
-_trace_cache: dict[tuple, Trace] = {}
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+class BoundedTraceCache:
+    """An LRU trace cache bounded by entry count and resident bytes.
+
+    Memory-mapped traces (loaded from the disk layer) are charged zero
+    resident bytes — their pages are file-backed, reclaimable, and
+    shared between processes.
+    """
+
+    def __init__(self, max_entries: int, max_bytes: int):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: dict[tuple, Trace] = {}
+        self._bytes: dict[tuple, int] = {}
+        self.current_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @staticmethod
+    def _resident_bytes(trace: Trace) -> int:
+        total = 0
+        for column in (trace.addresses, trace.kinds, trace.components):
+            base = column
+            file_backed = False
+            while base is not None:
+                if isinstance(base, np.memmap):
+                    file_backed = True
+                    break
+                base = getattr(base, "base", None)
+            if not file_backed:
+                total += column.nbytes
+        return total
+
+    def get(self, key: tuple) -> Trace | None:
+        trace = self._entries.get(key)
+        if trace is not None:
+            # Move-to-end keeps dict order = LRU order.
+            del self._entries[key]
+            self._entries[key] = trace
+        return trace
+
+    def put(self, key: tuple, trace: Trace) -> None:
+        if key in self._entries:
+            del self._entries[key]
+            self.current_bytes -= self._bytes.pop(key)
+        size = self._resident_bytes(trace)
+        self._entries[key] = trace
+        self._bytes[key] = size
+        self.current_bytes += size
+        self._evict()
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self.current_bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            victim = next(iter(self._entries))
+            del self._entries[victim]
+            self.current_bytes -= self._bytes.pop(victim)
+
+    def rebound(self, max_entries: int, max_bytes: int) -> None:
+        """Change the limits and evict down to them immediately."""
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._evict()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes.clear()
+        self.current_bytes = 0
+
+
+_trace_cache = BoundedTraceCache(
+    max_entries=_env_int(TRACE_CACHE_ENTRIES_ENV, _DEFAULT_MAX_ENTRIES),
+    max_bytes=_env_int(TRACE_CACHE_BYTES_ENV, _DEFAULT_MAX_BYTES),
+)
+
+#: Sentinel distinguishing "not configured yet" from "explicitly None".
+_UNSET = object()
+_disk_cache = _UNSET
 
 
 def get_workload(name: str, os_name: str = MACH3) -> WorkloadParams:
@@ -67,6 +192,31 @@ def get_workload(name: str, os_name: str = MACH3) -> WorkloadParams:
     return table[name]
 
 
+def trace_cache_backend():
+    """The active on-disk cache backend, or ``None`` when disabled.
+
+    Defaults to the directory named by ``REPRO_CACHE_DIR`` (if set);
+    override with :func:`set_trace_cache_backend`.
+    """
+    global _disk_cache
+    if _disk_cache is _UNSET:
+        from repro.runner.cache import cache_from_environment
+
+        _disk_cache = cache_from_environment()
+    return _disk_cache
+
+
+def set_trace_cache_backend(backend) -> None:
+    """Install (or, with ``None``, disable) the on-disk cache backend.
+
+    ``backend`` is any object with the ``load``/``store`` and
+    ``load_line_runs``/``store_line_runs`` methods of
+    :class:`repro.runner.cache.TraceDiskCache`.
+    """
+    global _disk_cache
+    _disk_cache = backend
+
+
 def get_trace(
     name: str,
     os_name: str = MACH3,
@@ -76,12 +226,55 @@ def get_trace(
     """Synthesize (or fetch from cache) the trace of one workload."""
     key = (name, os_name, n_instructions, seed)
     trace = _trace_cache.get(key)
+    if trace is not None:
+        return trace
+    params = get_workload(name, os_name)
+    backend = trace_cache_backend()
+    trace = None
+    if backend is not None:
+        with timing.phase(timing.PHASE_TRACE_LOAD):
+            trace = backend.load(params, n_instructions, seed)
     if trace is None:
-        trace = synthesize_trace(
-            get_workload(name, os_name), n_instructions, seed=seed
-        )
-        _trace_cache[key] = trace
+        with timing.phase(timing.PHASE_SYNTHESIZE):
+            trace = synthesize_trace(params, n_instructions, seed=seed)
+        if backend is not None:
+            backend.store(trace, params, n_instructions, seed)
+    _trace_cache.put(key, trace)
     return trace
+
+
+def get_line_runs(
+    name: str,
+    os_name: str = MACH3,
+    n_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
+    seed: int = 0,
+    line_size: int = 32,
+) -> LineRuns:
+    """The RLE instruction-fetch stream of one workload at one line size.
+
+    Memoized at three levels: per-:class:`Trace` (in memory, shared by
+    every sweep over the same trace object), and — when the disk layer
+    is active — as a persistent artifact next to the owning trace, so a
+    warm rerun skips both synthesis and re-encoding.
+    """
+    trace = get_trace(name, os_name, n_instructions, seed)
+    memo_key = ("ifetch_line_runs", line_size)
+    runs = trace._cache.get(memo_key)
+    if runs is not None:
+        return runs
+    backend = trace_cache_backend()
+    params = get_workload(name, os_name)
+    runs = None
+    if backend is not None:
+        with timing.phase(timing.PHASE_TRACE_LOAD):
+            runs = backend.load_line_runs(params, n_instructions, seed, line_size)
+    if runs is None:
+        runs = trace.ifetch_line_runs(line_size)
+        if backend is not None:
+            backend.store_line_runs(runs, params, n_instructions, seed)
+    else:
+        trace._cache[memo_key] = runs
+    return runs
 
 
 def list_workloads(os_name: str | None = None) -> list[tuple[str, str]]:
@@ -107,6 +300,26 @@ def suite_workloads(suite: str) -> list[tuple[str, str]]:
         raise KeyError(
             f"unknown suite {suite!r}; available: {sorted(_SUITES)}"
         ) from None
+
+
+def configure_trace_cache(
+    max_entries: int | None = None, max_bytes: int | None = None
+) -> None:
+    """Adjust the in-memory cache bounds (evicting immediately if over)."""
+    _trace_cache.rebound(
+        max_entries if max_entries is not None else _trace_cache.max_entries,
+        max_bytes if max_bytes is not None else _trace_cache.max_bytes,
+    )
+
+
+def trace_cache_stats() -> dict[str, int]:
+    """Entry count, resident bytes, and bounds of the in-memory cache."""
+    return {
+        "entries": len(_trace_cache),
+        "resident_bytes": _trace_cache.current_bytes,
+        "max_entries": _trace_cache.max_entries,
+        "max_bytes": _trace_cache.max_bytes,
+    }
 
 
 def clear_trace_cache() -> None:

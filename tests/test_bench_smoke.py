@@ -1,0 +1,61 @@
+"""Smoke test of the cold/warm cache benchmark tool.
+
+Doubles as the acceptance check for the disk cache: the warm rerun must
+spend (approximately) zero time in the ``synthesize`` phase.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "tools" / "bench_smoke.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench_smoke():
+    spec = importlib.util.spec_from_file_location("bench_smoke", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_cold_warm_bench(bench_smoke, tmp_path):
+    record = bench_smoke.bench(
+        experiment="table5",
+        n_instructions=20_000,
+        jobs=1,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    cold = record["cold"]["phase_totals"]
+    warm = record["warm"]["phase_totals"]
+    # Cold run pays for synthesis; warm run must skip it entirely.
+    assert cold.get("synthesize", 0.0) > 0.0
+    assert warm.get("synthesize", 0.0) == pytest.approx(0.0, abs=1e-6)
+    assert warm.get("trace-load", 0.0) > 0.0
+    assert record["cache_entries"] > 0
+    assert record["cache_bytes"] > 0
+    # The JSON record round-trips.
+    assert json.loads(json.dumps(record)) == record
+
+
+def test_main_writes_json(bench_smoke, tmp_path, monkeypatch, capsys):
+    out = tmp_path / "bench.json"
+    monkeypatch.setattr(
+        sys, "argv",
+        [
+            "bench_smoke.py", "--experiment", "table5",
+            "--instructions", "20000",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out),
+        ],
+    )
+    bench_smoke.main()
+    record = json.loads(out.read_text())
+    assert record["experiment"] == "table5"
+    assert "cold" in record and "warm" in record
+    assert "wrote" in capsys.readouterr().out

@@ -166,3 +166,91 @@ class TestRescaleLines:
     def test_refine_rejected(self):
         with pytest.raises(ValueError):
             rescale_lines(np.array([0], np.uint64), 64, 32)
+
+
+class TestLineOrderCache:
+    """Memoized argsorts shared across a sweep's repeated calls."""
+
+    def test_same_array_same_cache(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = _random_lines()
+        assert line_order_cache(lines) is line_order_cache(lines)
+
+    def test_order_memoized_per_n_sets(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        cache = line_order_cache(_random_lines())
+        first = cache.order(64)
+        assert cache.order(64) is first
+        assert cache.order(128) is not first
+
+    def test_order_is_correct(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = _random_lines()
+        order = line_order_cache(lines).order(128)
+        sets = lines & np.uint64(127)
+        assert np.array_equal(order, np.argsort(sets, kind="stable"))
+
+    def test_explicit_order_matches_cached(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = _random_lines()
+        sets = lines & np.uint64(127)
+        explicit = np.argsort(sets, kind="stable")
+        with_explicit = miss_mask_direct_mapped(lines, 128, order=explicit)
+        with_cache = miss_mask_direct_mapped(lines, 128)
+        assert np.array_equal(with_explicit, with_cache)
+
+    def test_compulsory_memoized_and_correct(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = np.array([3, 1, 3, 2, 1, 4], dtype=np.uint64)
+        cache = line_order_cache(lines)
+        mask = cache.compulsory()
+        assert list(mask) == [True, True, False, True, False, True]
+        assert cache.compulsory() is mask
+        assert np.array_equal(compulsory_mask(lines), mask)
+
+    def test_results_are_read_only(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        cache = line_order_cache(_random_lines())
+        with pytest.raises(ValueError):
+            cache.order(64)[0] = 0
+        with pytest.raises(ValueError):
+            cache.compulsory()[0] = False
+
+    def test_registry_bounded(self):
+        from repro.caches.vectorized import (
+            _ORDER_CACHE_CAPACITY,
+            _order_caches,
+            clear_order_caches,
+            line_order_cache,
+        )
+
+        clear_order_caches()
+        arrays = [
+            _random_lines(seed=i) for i in range(_ORDER_CACHE_CAPACITY + 4)
+        ]
+        for lines in arrays:
+            line_order_cache(lines)
+        assert len(_order_caches) == _ORDER_CACHE_CAPACITY
+
+    def test_repeated_sweep_reuses_order(self):
+        from repro.caches.vectorized import clear_order_caches
+
+        clear_order_caches()
+        lines = _random_lines()
+        first = miss_mask_direct_mapped(lines, 64)
+        second = miss_mask_direct_mapped(lines, 64)
+        assert np.array_equal(first, second)
+        seq = _sequential_mask(lines, 64, 1)
+        assert np.array_equal(first, seq)

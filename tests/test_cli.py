@@ -70,3 +70,83 @@ class TestCliReportExtensions:
         assert args.extensions is True
         args = build_parser().parse_args(["report"])
         assert args.extensions is False
+
+
+class TestCacheAndJobsCli:
+    @pytest.fixture(autouse=True)
+    def _isolated_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        from repro.workloads import registry
+        from repro.workloads.registry import clear_trace_cache
+
+        saved = registry._disk_cache
+        clear_trace_cache()
+        yield
+        registry._disk_cache = saved
+        clear_trace_cache()
+
+    def test_cache_info_unconfigured(self, capsys):
+        assert main(["cache", "info"]) == 0
+        assert "no cache configured" in capsys.readouterr().out
+
+    def test_cache_clear_unconfigured(self, capsys):
+        assert main(["cache", "clear"]) == 2
+
+    def test_experiment_populates_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        code = main(
+            [
+                "--instructions", "20000",
+                "--cache-dir", cache_dir,
+                "experiment", "table5",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", cache_dir, "cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert cache_dir in out
+        assert "entries: 22" in out
+        assert main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
+        assert "cleared 22 entries" in capsys.readouterr().out
+
+    def test_no_disk_cache_flag(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        code = main(
+            [
+                "--instructions", "20000", "--no-disk-cache",
+                "experiment", "table5",
+            ]
+        )
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_jobs_bit_identical(self, capsys):
+        assert main(["--instructions", "20000", "experiment", "table5"]) == 0
+        serial = capsys.readouterr().out
+        from repro.workloads.registry import clear_trace_cache
+
+        clear_trace_cache()
+        code = main(
+            ["--instructions", "20000", "--jobs", "4", "experiment", "table5"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == serial
+
+    def test_timing_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "timing.json"
+        code = main(
+            [
+                "--instructions", "20000", "--timing-out", str(path),
+                "experiment", "table5",
+            ]
+        )
+        assert code == 0
+        record = json.loads(path.read_text())
+        assert record["label"] == "table5"
+        assert record["jobs"] == 1
+        assert len(record["cells"]) == 4
+        assert "phase_totals" in record

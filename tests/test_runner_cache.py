@@ -1,0 +1,228 @@
+"""Unit tests for the persistent on-disk trace/artifact cache."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runner.cache import (
+    TraceDiskCache,
+    cache_from_environment,
+    params_fingerprint,
+)
+from repro.trace.rle import to_line_runs
+from repro.workloads import registry
+from repro.workloads.generator import synthesize_trace
+from repro.workloads.registry import (
+    clear_trace_cache,
+    get_line_runs,
+    get_trace,
+    get_workload,
+    set_trace_cache_backend,
+)
+
+N = 20_000
+SEED = 11
+
+
+def _is_file_backed(column: np.ndarray) -> bool:
+    """Whether a column's storage is a memory-mapped file.
+
+    ``Trace.__post_init__`` normalizes columns with ``ascontiguousarray``,
+    which turns a loaded ``np.memmap`` into a plain ndarray *view* of it
+    — still file-backed, so walk the base chain.
+    """
+    base = column
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
+
+
+@pytest.fixture(autouse=True)
+def _isolated_backend():
+    """Each test starts with no disk backend and a cold in-memory cache."""
+    saved = registry._disk_cache
+    set_trace_cache_backend(None)
+    clear_trace_cache()
+    yield
+    registry._disk_cache = saved
+    clear_trace_cache()
+
+
+@pytest.fixture
+def params():
+    return get_workload("gcc", "mach3")
+
+
+@pytest.fixture
+def trace(params):
+    return synthesize_trace(params, N, seed=SEED)
+
+
+class TestFingerprint:
+    def test_stable(self, params):
+        assert params_fingerprint(params) == params_fingerprint(params)
+
+    def test_sensitive_to_params(self, params):
+        tweaked = dataclasses.replace(
+            params, burst_visits=params.burst_visits + 1.0
+        )
+        assert params_fingerprint(params) != params_fingerprint(tweaked)
+
+    def test_sensitive_to_generator_version(self, params):
+        assert params_fingerprint(params, generator_version=1) != (
+            params_fingerprint(params, generator_version=2)
+        )
+
+    def test_distinct_workloads(self):
+        a = params_fingerprint(get_workload("gcc", "mach3"))
+        b = params_fingerprint(get_workload("groff", "mach3"))
+        assert a != b
+
+
+class TestRoundTrip:
+    def test_miss_on_empty_cache(self, tmp_path, params):
+        cache = TraceDiskCache(tmp_path)
+        assert cache.load(params, N, SEED) is None
+
+    def test_trace_round_trip(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        loaded = cache.load(params, N, SEED)
+        assert loaded is not None
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert np.array_equal(loaded.kinds, trace.kinds)
+        assert np.array_equal(loaded.components, trace.components)
+
+    def test_loaded_trace_is_memory_mapped(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        loaded = cache.load(params, N, SEED)
+        assert _is_file_backed(loaded.addresses)
+        assert _is_file_backed(loaded.kinds)
+
+    def test_store_idempotent(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        first = cache.store(trace, params, N, SEED)
+        second = cache.store(trace, params, N, SEED)
+        assert first == second
+        assert len(cache.entries()) == 1
+
+    def test_line_runs_round_trip(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        runs = to_line_runs(trace.ifetch_addresses(), 32)
+        cache.store_line_runs(runs, params, N, SEED)
+        loaded = cache.load_line_runs(params, N, SEED, 32)
+        assert loaded is not None
+        assert loaded.line_size == 32
+        assert np.array_equal(loaded.lines, runs.lines)
+        assert np.array_equal(loaded.counts, runs.counts)
+        assert np.array_equal(loaded.first_offsets, runs.first_offsets)
+
+    def test_line_runs_require_trace_entry(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        runs = to_line_runs(trace.ifetch_addresses(), 32)
+        assert cache.store_line_runs(runs, params, N, SEED) is None
+        assert cache.load_line_runs(params, N, SEED, 32) is None
+
+
+class TestInvalidation:
+    def test_params_change_misses(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        tweaked = dataclasses.replace(
+            params, burst_visits=params.burst_visits + 1.0
+        )
+        assert cache.load(tweaked, N, SEED) is None
+
+    def test_generator_version_bump_misses(
+        self, tmp_path, params, trace, monkeypatch
+    ):
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        import repro.workloads.generator as generator
+
+        monkeypatch.setattr(
+            generator, "GENERATOR_VERSION", generator.GENERATOR_VERSION + 1
+        )
+        assert cache.load(params, N, SEED) is None
+
+    def test_foreign_directory_is_a_miss(self, tmp_path, params):
+        cache = TraceDiskCache(tmp_path)
+        entry = cache.entry_dir(params, N, SEED)
+        import os
+
+        os.makedirs(entry)
+        with open(os.path.join(entry, "garbage.txt"), "w") as handle:
+            handle.write("not a trace")
+        assert cache.load(params, N, SEED) is None
+
+
+class TestInventory:
+    def test_entries_and_clear(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        assert cache.entries() == []
+        assert cache.total_bytes() == 0
+        cache.store(trace, params, N, SEED)
+        infos = cache.entries()
+        assert len(infos) == 1
+        assert infos[0].name == "gcc"
+        assert infos[0].os_name == "mach3"
+        assert infos[0].n_instructions == N
+        assert infos[0].bytes > 0
+        assert cache.total_bytes() == infos[0].bytes
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+    def test_artifact_count(self, tmp_path, params, trace):
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        runs = to_line_runs(trace.ifetch_addresses(), 32)
+        cache.store_line_runs(runs, params, N, SEED)
+        assert cache.entries()[0].artifacts == 1
+
+
+class TestEnvironment:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_from_environment() is None
+
+    def test_env_var_selects_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = cache_from_environment()
+        assert cache is not None
+        assert cache.root == str(tmp_path)
+
+
+class TestRegistryIntegration:
+    def test_get_trace_populates_disk(self, tmp_path):
+        set_trace_cache_backend(TraceDiskCache(tmp_path))
+        trace = get_trace("gcc", "mach3", N, seed=SEED)
+        backend = registry.trace_cache_backend()
+        assert len(backend.entries()) == 1
+        # A cold in-memory cache now loads from disk: equal data, and
+        # memory-mapped rather than freshly synthesized.
+        clear_trace_cache()
+        reloaded = get_trace("gcc", "mach3", N, seed=SEED)
+        assert reloaded is not trace
+        assert _is_file_backed(reloaded.addresses)
+        assert np.array_equal(reloaded.addresses, trace.addresses)
+
+    def test_get_line_runs_populates_disk(self, tmp_path):
+        set_trace_cache_backend(TraceDiskCache(tmp_path))
+        runs = get_line_runs("gcc", "mach3", N, seed=SEED, line_size=32)
+        assert registry.trace_cache_backend().entries()[0].artifacts == 1
+        # Warm process: memoized on the Trace, same object back.
+        assert get_line_runs("gcc", "mach3", N, seed=SEED, line_size=32) is runs
+        # Cold process (simulated): the artifact loads from disk.
+        clear_trace_cache()
+        reloaded = get_line_runs("gcc", "mach3", N, seed=SEED, line_size=32)
+        assert np.array_equal(reloaded.lines, runs.lines)
+        assert np.array_equal(reloaded.counts, runs.counts)
+
+    def test_disabled_backend_still_works(self):
+        trace = get_trace("gcc", "mach3", N, seed=SEED)
+        assert get_trace("gcc", "mach3", N, seed=SEED) is trace

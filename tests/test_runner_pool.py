@@ -1,0 +1,124 @@
+"""Tests for the process-pool sweep runner.
+
+The load-bearing property: a parallel run is *bit-identical* to a
+serial one — same cells, same arithmetic, merge in enumeration order —
+so ``--jobs N`` is purely a wall-clock knob.
+"""
+
+import pytest
+
+from repro.experiments import figure1, table1, table4, table5
+from repro.experiments.common import ExperimentSettings
+from repro.runner.pool import (
+    ExperimentCell,
+    has_cells,
+    resolve_jobs,
+    run_cells,
+    run_experiment,
+    run_report,
+)
+from repro.workloads.registry import clear_trace_cache, set_trace_cache_backend
+
+SETTINGS = ExperimentSettings(n_instructions=20_000, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache():
+    from repro.workloads import registry
+
+    saved = registry._disk_cache
+    set_trace_cache_backend(None)
+    yield
+    registry._disk_cache = saved
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestRunCells:
+    def _cells(self, n=5):
+        return [
+            ExperimentCell(key=("cell", i), fn=_double, args=(i,))
+            for i in range(n)
+        ]
+
+    def test_serial_order(self):
+        results, timings = run_cells(self._cells(), jobs=1)
+        assert results == [0, 2, 4, 6, 8]
+        assert [t.key for t in timings] == [("cell", i) for i in range(5)]
+
+    def test_parallel_matches_serial(self):
+        serial, _ = run_cells(self._cells(), jobs=1)
+        parallel, timings = run_cells(self._cells(), jobs=4)
+        assert parallel == serial
+        assert [t.key for t in timings] == [("cell", i) for i in range(5)]
+
+    def test_empty(self):
+        results, timings = run_cells([], jobs=4)
+        assert results == []
+        assert timings == []
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+
+class TestCellApi:
+    @pytest.mark.parametrize("module", [table1, table4, table5, figure1])
+    def test_modules_expose_cells(self, module):
+        assert has_cells(module)
+        cell_list = module.cells(SETTINGS)
+        assert len(cell_list) >= 2
+        assert len({cell.key for cell in cell_list}) == len(cell_list)
+
+    def test_run_matches_cells_plus_merge(self):
+        direct = table5.run(SETTINGS)
+        cell_list = table5.cells(SETTINGS)
+        rebuilt = table5.merge(
+            SETTINGS, [cell.fn(*cell.args) for cell in cell_list]
+        )
+        assert direct.render() == rebuilt.render()
+
+
+class TestParallelEqualsSerial:
+    """The ISSUE's acceptance bar: --jobs 4 output == serial output."""
+
+    @pytest.mark.parametrize("module", [table5, table4])
+    def test_experiment_bit_identical(self, module):
+        serial = module.run(SETTINGS)
+        clear_trace_cache()  # force the parallel run to start cold
+        result, report = run_experiment(module, SETTINGS, jobs=4)
+        assert result.render() == serial.render()
+        assert report.jobs >= 1
+        assert len(report.cells) == len(module.cells(SETTINGS))
+
+    def test_fallback_module_without_cells(self):
+        from repro.experiments import table2
+
+        assert not has_cells(table2)
+        serial = table2.run(SETTINGS)
+        result, report = run_experiment(table2, SETTINGS, jobs=4)
+        assert result.render() == serial.render()
+        assert len(report.cells) == 1
+
+
+class TestRunReport:
+    def test_report_matches_individual_runs(self):
+        modules = {"table5": table5, "table4": table4}
+        renderings, report = run_report(modules, SETTINGS, jobs=2)
+        assert [name for name, _ in renderings] == ["table5", "table4"]
+        assert renderings[0][1] == table5.run(SETTINGS).render()
+        assert renderings[1][1] == table4.run(SETTINGS).render()
+        assert report.label == "report"
+        assert len(report.cells) == 2
+
+    def test_timing_report_has_phases(self):
+        clear_trace_cache()
+        _, report = run_experiment(table5, SETTINGS, jobs=1)
+        totals = report.phase_totals
+        # A cold serial run synthesizes and simulates in-process.
+        assert totals.get("synthesize", 0.0) > 0.0
+        assert totals.get("simulate", 0.0) > 0.0
+        assert report.wall_seconds > 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for the runner's phase-timing accounting."""
+
+import json
+import time
+
+import pytest
+
+from repro.runner import timing
+from repro.runner.timing import CellTiming, TimingReport
+
+
+@pytest.fixture(autouse=True)
+def _fresh_accumulator():
+    timing.reset()
+    yield
+    timing.reset()
+
+
+class TestPhase:
+    def test_accumulates(self):
+        with timing.phase("simulate"):
+            time.sleep(0.01)
+        phases = timing.snapshot()
+        assert phases["simulate"] >= 0.005
+
+    def test_nesting_charges_innermost(self):
+        with timing.phase("simulate"):
+            with timing.phase("line-runs"):
+                time.sleep(0.02)
+        phases = timing.snapshot()
+        # The sleep is charged to the inner phase, not double-counted.
+        assert phases["line-runs"] >= 0.01
+        assert phases["simulate"] < phases["line-runs"]
+
+    def test_same_phase_reentrant(self):
+        with timing.phase("simulate"):
+            with timing.phase("simulate"):
+                time.sleep(0.01)
+        phases = timing.snapshot()
+        assert 0.005 <= phases["simulate"] < 0.05
+
+    def test_snapshot_reset(self):
+        with timing.phase("synthesize"):
+            pass
+        first = timing.snapshot(reset=True)
+        assert "synthesize" in first
+        assert timing.snapshot() == {}
+
+    def test_exception_still_recorded(self):
+        with pytest.raises(RuntimeError):
+            with timing.phase("simulate"):
+                raise RuntimeError("boom")
+        assert "simulate" in timing.snapshot()
+
+
+class TestReport:
+    def _report(self):
+        cells = (
+            CellTiming(key=("a", 1), wall_seconds=0.5,
+                       phases={"simulate": 0.3, "synthesize": 0.1}),
+            CellTiming(key=("b", 2), wall_seconds=0.25,
+                       phases={"simulate": 0.2}),
+        )
+        return TimingReport(
+            label="test", jobs=2, wall_seconds=0.8, cells=cells
+        )
+
+    def test_phase_totals(self):
+        totals = self._report().phase_totals
+        assert totals["simulate"] == pytest.approx(0.5)
+        assert totals["synthesize"] == pytest.approx(0.1)
+
+    def test_to_dict(self):
+        record = self._report().to_dict()
+        assert record["label"] == "test"
+        assert record["jobs"] == 2
+        assert len(record["cells"]) == 2
+        assert record["cells"][0]["key"] == ["a", 1]
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "timing.json"
+        self._report().write(path)
+        record = json.loads(path.read_text())
+        assert record["phase_totals"]["simulate"] == pytest.approx(0.5)

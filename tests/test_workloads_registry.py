@@ -99,3 +99,75 @@ class TestTraceCache:
         clear_trace_cache()
         b = get_trace("gcc", "mach3", 10_000, seed=44)
         assert a is not b
+
+
+class TestBoundedCache:
+    """The in-memory layer is a bounded LRU, not an unbounded dict."""
+
+    def _restore(self):
+        from repro.workloads.registry import configure_trace_cache
+
+        configure_trace_cache(max_entries=64, max_bytes=2 * 1024**3)
+
+    def test_stats_report_bounds(self):
+        from repro.workloads.registry import trace_cache_stats
+
+        stats = trace_cache_stats()
+        assert stats["max_entries"] > 0
+        assert stats["max_bytes"] > 0
+        assert stats["entries"] >= 0
+
+    def test_entry_limit_evicts_lru(self):
+        from repro.workloads.registry import (
+            configure_trace_cache,
+            trace_cache_stats,
+        )
+
+        try:
+            clear_trace_cache()
+            configure_trace_cache(max_entries=2)
+            a = get_trace("gcc", "mach3", 10_000, seed=50)
+            b = get_trace("groff", "mach3", 10_000, seed=50)
+            # Touch a so b is now least-recently used.
+            assert get_trace("gcc", "mach3", 10_000, seed=50) is a
+            c = get_trace("sdet", "mach3", 10_000, seed=50)
+            assert trace_cache_stats()["entries"] == 2
+            # a (recently used) and c (new) survive; b was evicted.
+            assert get_trace("gcc", "mach3", 10_000, seed=50) is a
+            assert get_trace("sdet", "mach3", 10_000, seed=50) is c
+            assert get_trace("groff", "mach3", 10_000, seed=50) is not b
+        finally:
+            self._restore()
+            clear_trace_cache()
+
+    def test_byte_limit_evicts(self):
+        from repro.workloads.registry import (
+            configure_trace_cache,
+            trace_cache_stats,
+        )
+
+        try:
+            clear_trace_cache()
+            a = get_trace("gcc", "mach3", 10_000, seed=51)
+            nbytes = (
+                a.addresses.nbytes + a.kinds.nbytes + a.components.nbytes
+            )
+            # Room for one resident trace but not two.
+            configure_trace_cache(max_entries=64, max_bytes=int(nbytes * 1.5))
+            get_trace("groff", "mach3", 10_000, seed=51)
+            stats = trace_cache_stats()
+            assert stats["entries"] == 1
+            assert stats["resident_bytes"] <= int(nbytes * 1.5)
+        finally:
+            self._restore()
+            clear_trace_cache()
+
+    def test_rejects_nonpositive_bounds(self):
+        import pytest as _pytest
+
+        from repro.workloads.registry import configure_trace_cache
+
+        with _pytest.raises(ValueError):
+            configure_trace_cache(max_entries=0)
+        with _pytest.raises(ValueError):
+            configure_trace_cache(max_bytes=-1)

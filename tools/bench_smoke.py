@@ -1,0 +1,112 @@
+"""Cold/warm benchmark of the trace cache and sweep runner.
+
+Runs one experiment twice against a fresh cache directory — a cold run
+that synthesizes every trace, then a warm run that memory-maps them
+back — and writes both timing reports plus the speedup as JSON.
+
+Run from the repository root:
+
+    python tools/bench_smoke.py [--experiment table5] [--instructions N]
+                                [--jobs N] [--cache-dir DIR] [--out FILE]
+
+With no ``--cache-dir`` a temporary directory is used and removed
+afterwards.  The interesting fields of the output: the cold run's
+``phase_totals.synthesize`` is the cost the cache amortizes, and the
+warm run's must be (near) zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+
+from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from repro.experiments.common import ExperimentSettings
+from repro.runner.cache import TraceDiskCache
+from repro.runner.pool import run_experiment
+from repro.workloads.registry import clear_trace_cache, set_trace_cache_backend
+
+
+def bench(
+    experiment: str = "table5",
+    n_instructions: int = 100_000,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> dict:
+    """Cold-then-warm timing of one experiment; returns the JSON record."""
+    registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    module = registry[experiment]
+    settings = ExperimentSettings(n_instructions=n_instructions, seed=0)
+
+    scratch = None
+    if cache_dir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-bench-")
+        cache_dir = scratch
+    backend = TraceDiskCache(cache_dir)
+    set_trace_cache_backend(backend)
+    try:
+        clear_trace_cache()
+        cold_result, cold = run_experiment(
+            module, settings, jobs=jobs, label=experiment
+        )
+        clear_trace_cache()  # warm = fresh process, populated disk
+        warm_result, warm = run_experiment(
+            module, settings, jobs=jobs, label=experiment
+        )
+        if cold_result.render() != warm_result.render():
+            raise AssertionError("warm rerun changed the experiment output")
+        return {
+            "experiment": experiment,
+            "n_instructions": n_instructions,
+            "jobs": cold.jobs,
+            "cache_dir": backend.root,
+            "cache_entries": len(backend.entries()),
+            "cache_bytes": backend.total_bytes(),
+            "cold": cold.to_dict(),
+            "warm": warm.to_dict(),
+            "speedup": (
+                cold.wall_seconds / warm.wall_seconds
+                if warm.wall_seconds > 0
+                else None
+            ),
+        }
+    finally:
+        set_trace_cache_backend(None)
+        clear_trace_cache()
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiment", default="table5")
+    parser.add_argument("--instructions", type=int, default=100_000)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir")
+    parser.add_argument("--out", default="bench_smoke.json")
+    args = parser.parse_args()
+
+    record = bench(
+        args.experiment, args.instructions, args.jobs, args.cache_dir
+    )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    cold = record["cold"]["phase_totals"]
+    warm = record["warm"]["phase_totals"]
+    print(
+        f"cold: {record['cold']['wall_seconds']:.2f}s "
+        f"(synthesize {cold.get('synthesize', 0.0):.2f}s)"
+    )
+    print(
+        f"warm: {record['warm']['wall_seconds']:.2f}s "
+        f"(synthesize {warm.get('synthesize', 0.0):.2f}s, "
+        f"trace-load {warm.get('trace-load', 0.0):.2f}s)"
+    )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
