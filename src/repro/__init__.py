@@ -54,6 +54,21 @@ from repro.workloads import (
 
 __version__ = "1.0.0"
 
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the source's.
+
+    Prefers package metadata (what ``pip`` actually installed) so a
+    stale checkout cannot misreport a deployed server's version; the
+    result store and ``/healthz`` both key on it.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return __version__
+
 __all__ = [
     "CpiBreakdown",
     "MemorySystemConfig",
@@ -80,5 +95,6 @@ __all__ = [
     "get_workload",
     "suite_workloads",
     "synthesize_trace",
+    "package_version",
     "__version__",
 ]

@@ -8,20 +8,27 @@ Subcommands:
 * ``report`` — run everything (the ``tools/make_report.py`` behaviour).
 * ``trace NAME`` — synthesize a workload trace and archive it to disk.
 * ``evaluate NAME`` — one workload against a named configuration.
-* ``cache info|clear`` — inspect or wipe the on-disk trace cache.
+* ``cache info|clear`` — inspect or wipe the on-disk trace cache
+  (``--json`` for machine-readable output).
+* ``results info|clear`` — inspect or wipe the content-addressed result
+  store that backs the server (``--json`` likewise).
+* ``serve`` — run the long-running HTTP/JSON simulation server
+  (:mod:`repro.service`).
 
 Global flags: ``--jobs N`` fans experiment cells over a process pool
 (results are bit-identical to serial), ``--cache-dir``/``REPRO_CACHE_DIR``
-selects the persistent trace cache, ``--no-disk-cache`` disables it, and
+selects the persistent trace cache, ``--no-disk-cache`` disables it,
 ``--timing-out FILE`` writes the per-cell/per-phase wall-time report as
-JSON.
+JSON, and ``--version`` prints the package version.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import package_version
 from repro.core.config import MemorySystemConfig
 from repro.core.study import MECHANISMS, evaluate
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
@@ -127,14 +134,21 @@ def _cmd_evaluate(args) -> int:
 def _cmd_cache(args) -> int:
     backend = trace_cache_backend()
     if backend is None:
-        print(
-            "no cache configured; set --cache-dir or the "
-            f"{CACHE_DIR_ENV} environment variable"
-        )
+        if getattr(args, "json", False):
+            print(json.dumps({"root": None, "entries": [], "error":
+                              "no cache configured"}))
+        else:
+            print(
+                "no cache configured; set --cache-dir or the "
+                f"{CACHE_DIR_ENV} environment variable"
+            )
         return 0 if args.action == "info" else 2
     if args.action == "clear":
         removed = backend.clear()
         print(f"cleared {removed} entries from {backend.root}")
+        return 0
+    if args.json:
+        print(json.dumps(backend.describe(), indent=2, sort_keys=True))
         return 0
     entries = backend.entries()
     total = sum(info.bytes for info in entries)
@@ -153,11 +167,80 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _result_store():
+    """The content-addressed result store next to the trace cache."""
+    from repro.service.store import result_store_for_cache
+
+    backend = trace_cache_backend()
+    if backend is None:
+        return None
+    return result_store_for_cache(backend)
+
+
+def _cmd_results(args) -> int:
+    store = _result_store()
+    if store is None:
+        if getattr(args, "json", False):
+            print(json.dumps({"root": None, "entries": [], "error":
+                              "no cache configured"}))
+        else:
+            print(
+                "no result store configured; set --cache-dir or the "
+                f"{CACHE_DIR_ENV} environment variable"
+            )
+        return 0 if args.action == "info" else 2
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} results from {store.root}")
+        return 0
+    if args.json:
+        print(json.dumps(store.describe(), indent=2, sort_keys=True))
+        return 0
+    print(f"result store: {store.root}")
+    entries = store.entries()
+    print(f"entries: {len(entries)}")
+    print(f"total bytes: {store.current_bytes:,}")
+    if entries:
+        print("\nper-result breakdown (LRU first):")
+        for info in entries:
+            print(
+                f"  {info.kind:10s} {info.name:16s} "
+                f"{info.bytes:>10,} B  {info.key[:12]}"
+            )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.app import run_service
+
+    store = _result_store()
+    if store is None:
+        from repro.service.store import ResultStore
+
+        print(
+            "repro serve: no --cache-dir / $" + CACHE_DIR_ENV +
+            " configured; results will not survive restarts",
+            file=sys.stderr,
+        )
+        store = ResultStore(None)
+    return run_service(
+        host=args.host,
+        port=args.port,
+        store=store,
+        jobs=args.jobs,
+        batch_window=args.batch_window,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Instruction Fetching: Coping with "
         "Code Bloat' (ISCA 1995)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {package_version()}",
     )
     parser.add_argument("--instructions", type=int, default=400_000)
     parser.add_argument("--seed", type=int, default=0)
@@ -206,6 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser("cache", help="inspect or clear the trace cache")
     p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+
+    p_results = sub.add_parser(
+        "results", help="inspect or clear the content-addressed result store"
+    )
+    p_results.add_argument("action", choices=["info", "clear"])
+    p_results.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running HTTP/JSON simulation server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="how long to hold compatible evaluate requests for batching",
+    )
     return parser
 
 
@@ -229,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "evaluate": _cmd_evaluate,
         "cache": _cmd_cache,
+        "results": _cmd_results,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -9,6 +9,8 @@ runner schedules an experiment's independent units.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +25,8 @@ from repro.workloads.registry import (
     DEFAULT_TRACE_INSTRUCTIONS,
     get_line_runs,
     get_trace,
+    list_workloads,
+    get_workload,
     suite_workloads,
 )
 
@@ -30,11 +34,14 @@ __all__ = [
     "DEFAULT_SETTINGS",
     "ExperimentCell",
     "ExperimentSettings",
+    "canonical_job_key",
     "has_cells",
+    "settings_record",
     "suite_cpi_instr",
     "suite_evaluate",
     "suite_runs",
     "suite_traces",
+    "workloads_fingerprint",
 ]
 
 
@@ -62,6 +69,68 @@ class ExperimentSettings:
 
 
 DEFAULT_SETTINGS = ExperimentSettings()
+
+
+def settings_record(settings: ExperimentSettings) -> dict:
+    """The JSON-stable record of one settings object (for cache keys)."""
+    return {
+        "n_instructions": settings.n_instructions,
+        "seed": settings.seed,
+        "warmup_fraction": settings.warmup_fraction,
+    }
+
+
+_workloads_fingerprint: str | None = None
+
+
+def workloads_fingerprint() -> str:
+    """One digest covering every registered workload's parameterization.
+
+    Folds each workload's :func:`~repro.runner.cache.params_fingerprint`
+    (which itself covers the generator version) into a single hash, so
+    any recalibration, workload-set change, or synthesizer bump changes
+    every canonical job key derived from it.  Computed once per process:
+    the workload tables are module-level constants.
+    """
+    global _workloads_fingerprint
+    if _workloads_fingerprint is None:
+        from repro.runner.cache import params_fingerprint
+
+        digests = [
+            params_fingerprint(get_workload(name, os_name))
+            for name, os_name in sorted(list_workloads())
+        ]
+        payload = json.dumps(digests).encode("utf-8")
+        _workloads_fingerprint = hashlib.sha256(payload).hexdigest()
+    return _workloads_fingerprint
+
+
+def canonical_job_key(
+    kind: str,
+    name: str,
+    settings: ExperimentSettings,
+    extra: dict | None = None,
+) -> str:
+    """Content address of one serving-layer job.
+
+    Hashes everything that determines the job's output — the job kind
+    (``"experiment"`` / ``"evaluate"``), its target name, the full
+    :class:`ExperimentSettings`, any request-specific knobs (``extra``:
+    OS, configuration, mechanism...), and the workload/generator
+    fingerprint — so two requests share a key exactly when their results
+    are interchangeable.
+    """
+    payload = json.dumps(
+        {
+            "kind": kind,
+            "name": name,
+            "settings": settings_record(settings),
+            "extra": extra or {},
+            "workloads": workloads_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def suite_traces(

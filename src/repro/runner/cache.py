@@ -86,6 +86,18 @@ class CacheEntryInfo:
     bytes: int
     artifacts: int
 
+    def to_dict(self) -> dict:
+        """JSON-ready record (for ``repro cache info --json``)."""
+        return {
+            "name": self.name,
+            "os": self.os_name,
+            "n_instructions": self.n_instructions,
+            "seed": self.seed,
+            "path": self.path,
+            "bytes": self.bytes,
+            "artifacts": self.artifacts,
+        }
+
 
 class TraceDiskCache:
     """A directory of memory-mappable trace and line-run artifacts."""
@@ -265,6 +277,21 @@ class TraceDiskCache:
     def total_bytes(self) -> int:
         """Bytes held by all complete entries."""
         return sum(info.bytes for info in self.entries())
+
+    def describe(self) -> dict:
+        """Machine-readable inventory of the whole cache.
+
+        The structured twin of ``repro cache info``'s text rendering, so
+        tooling and the HTTP service consume cache state without
+        scraping.
+        """
+        entries = self.entries()
+        return {
+            "root": self.root,
+            "entry_count": len(entries),
+            "total_bytes": sum(info.bytes for info in entries),
+            "entries": [info.to_dict() for info in entries],
+        }
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -34,6 +34,30 @@ from repro.runner import timing
 from repro.runner.timing import CellTiming, TimingReport
 
 
+class CellExecutionError(RuntimeError):
+    """A cell failure carrying the identity of the failing cell.
+
+    A bare exception escaping a pool worker tells the caller *nothing*
+    about which (workload, configuration) cell died — with eight workers
+    in flight, that makes parallel failures undebuggable.  Every worker
+    failure is therefore re-raised as this type, whose message names the
+    cell key and the original error.  ``__reduce__`` keeps it picklable
+    across the process boundary (chained ``__cause__`` is not, reliably).
+
+    Attributes:
+        key: the failing cell's identity tuple.
+        message: ``"TypeName: str(original)"`` of the underlying error.
+    """
+
+    def __init__(self, key: tuple, message: str):
+        super().__init__(f"experiment cell {key!r} failed: {message}")
+        self.key = key
+        self.message = message
+
+    def __reduce__(self):
+        return (type(self), (self.key, self.message))
+
+
 @dataclass(frozen=True)
 class ExperimentCell:
     """One independently schedulable unit of an experiment.
@@ -65,7 +89,12 @@ def _execute_cell(key: tuple, fn: Callable, args: tuple):
     """Run one cell under a fresh phase accumulator (worker side)."""
     timing.reset()
     start = time.perf_counter()
-    result = fn(*args)
+    try:
+        result = fn(*args)
+    except CellExecutionError:
+        raise
+    except Exception as exc:
+        raise CellExecutionError(key, f"{type(exc).__name__}: {exc}") from exc
     wall = time.perf_counter() - start
     cell_timing = CellTiming(
         key=key, wall_seconds=wall, phases=timing.snapshot(reset=True)
@@ -132,6 +161,11 @@ def run_cells(
                 pool.submit(_execute_cell, c.key, c.fn, c.args) for c in cells
             ]
             outcomes = [future.result() for future in futures]
+        # Workers accumulate phases in their own processes; replay them
+        # so parent-side phase observers (live service metrics) see the
+        # same stream a serial run produces.
+        for _, cell_timing in outcomes:
+            timing.notify_phases(cell_timing.phases)
     results = [result for result, _ in outcomes]
     timings = [cell_timing for _, cell_timing in outcomes]
     return results, timings

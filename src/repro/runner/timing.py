@@ -25,6 +25,7 @@ import json
 import os
 import threading
 import time
+from collections.abc import Callable, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -36,6 +37,44 @@ PHASE_LINE_RUNS = "line-runs"
 PHASE_SIMULATE = "simulate"
 
 _state = threading.local()
+
+#: Process-wide phase observers (the serving layer's live metrics feed).
+#: Unlike the accumulator these are deliberately *not* thread-local:
+#: the HTTP service runs jobs on worker threads and wants one stream.
+_observers: list[Callable[[str, float], None]] = []
+
+
+def add_phase_observer(observer: Callable[[str, float], None]) -> None:
+    """Register ``observer(name, seconds)`` to fire on every phase exit.
+
+    Observers see the *net* time of each phase (nested phases already
+    subtracted) from every thread of this process.  They must be cheap
+    and must not raise.
+    """
+    if observer not in _observers:
+        _observers.append(observer)
+
+
+def remove_phase_observer(observer: Callable[[str, float], None]) -> None:
+    """Unregister an observer installed by :func:`add_phase_observer`."""
+    try:
+        _observers.remove(observer)
+    except ValueError:
+        pass
+
+
+def notify_phases(phases: Mapping[str, float]) -> None:
+    """Replay an already-accumulated phase record through the observers.
+
+    The pool runner uses this to surface phase timings measured inside
+    worker *processes* (where no observers are registered) to observers
+    in the parent.
+    """
+    if not _observers:
+        return
+    for name, seconds in phases.items():
+        for observer in list(_observers):
+            observer(name, seconds)
 
 
 def _frames() -> list[list]:
@@ -68,10 +107,14 @@ def phase(name: str) -> Iterator[None]:
     finally:
         elapsed = time.perf_counter() - frame[1]
         frames.pop()
+        net = max(elapsed - frame[2], 0.0)
         phases = _phases()
-        phases[name] = phases.get(name, 0.0) + max(elapsed - frame[2], 0.0)
+        phases[name] = phases.get(name, 0.0) + net
         if frames:
             frames[-1][2] += elapsed
+        if _observers:
+            for observer in list(_observers):
+                observer(name, net)
 
 
 def snapshot(reset: bool = False) -> dict[str, float]:

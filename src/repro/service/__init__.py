@@ -1,0 +1,41 @@
+"""The serving tier: a long-running simulation server over the library.
+
+Layers (bottom up):
+
+* :mod:`repro.service.metrics` — counters/gauges/latency histograms,
+  rendered for Prometheus at ``GET /metrics``.
+* :mod:`repro.service.store` — the content-addressed result store:
+  finished experiment/evaluation results persisted under the cache
+  directory, keyed by a canonical hash of everything that determines
+  them, bounded by an LRU byte budget.
+* :mod:`repro.service.scheduler` — single-flight request coalescing,
+  evaluate-cell batching, and non-blocking dispatch onto the pool
+  runner.
+* :mod:`repro.service.http` — minimal stdlib HTTP/1.1 framing.
+* :mod:`repro.service.app` — routing and the ``repro serve`` loop.
+"""
+
+from repro.service.app import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServiceApp,
+    run_service,
+    start_service,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import EvaluateRequest, Job, JobScheduler
+from repro.service.store import ResultStore, result_store_for_cache
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "EvaluateRequest",
+    "Job",
+    "JobScheduler",
+    "ResultStore",
+    "ServiceApp",
+    "ServiceMetrics",
+    "result_store_for_cache",
+    "run_service",
+    "start_service",
+]

@@ -1,0 +1,299 @@
+"""The simulation server: routing, lifecycle, and the serve loop.
+
+``python -m repro serve --port N`` turns the library into a long-running
+HTTP/JSON service.  Request flow::
+
+    client ──HTTP──▶ ServiceApp ──▶ JobScheduler ──▶ runner.pool
+                        │               │
+                        │               ├── single-flight coalescing
+                        │               └── ResultStore (content-addressed)
+                        └── ServiceMetrics (/metrics, /healthz)
+
+Endpoints:
+
+* ``POST /v1/experiments`` — body ``{"experiment": "table5",
+  "instructions"?, "seed"?, "wait"?}``; returns the job record (``202``
+  while running, ``200`` when done with ``"wait": true``).
+* ``POST /v1/evaluate`` — body ``{"workload", "os"?, "config"?,
+  "mechanism"?, "instructions"?, "seed"?, "wait"?}``.
+* ``GET /v1/jobs/<id>`` — poll a job; ``GET /v1/jobs/<id>/result`` —
+  the rendered table (experiments) or result JSON (evaluations).
+* ``GET /v1/results`` — result-store inventory.
+* ``GET /metrics`` — Prometheus text (``?format=json`` for JSON).
+* ``GET /healthz`` — liveness, versions, store/queue state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from http import HTTPStatus
+
+from repro import package_version
+from repro.core.study import MECHANISMS
+from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from repro.experiments.common import ExperimentSettings
+from repro.service.http import HttpError, Request, Response, read_request
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import CONFIGS, EvaluateRequest, JobScheduler
+from repro.service.store import ResultStore
+from repro.workloads.generator import GENERATOR_VERSION
+from repro.workloads.registry import DEFAULT_TRACE_INSTRUCTIONS, get_workload
+
+#: Default bind for ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+def _endpoint_label(method: str, path: str) -> str:
+    """Collapse per-job paths so metrics cardinality stays bounded."""
+    if path.startswith("/v1/jobs/"):
+        path = "/v1/jobs/*" + ("/result" if path.endswith("/result") else "")
+    return f"{method} {path}"
+
+
+class ServiceApp:
+    """Routes requests onto the scheduler, store, and metrics registry."""
+
+    def __init__(
+        self,
+        *,
+        store: ResultStore | None = None,
+        metrics: ServiceMetrics | None = None,
+        scheduler: JobScheduler | None = None,
+        jobs: int = 1,
+        batch_window: float = 0.0,
+    ):
+        self.metrics = metrics or ServiceMetrics()
+        self.store = store if store is not None else ResultStore(None)
+        self.scheduler = scheduler or JobScheduler(
+            self.store, self.metrics, jobs=jobs, batch_window=batch_window
+        )
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    # -- connection handling -------------------------------------------
+
+    async def handle_connection(self, reader, writer) -> None:
+        """Serve one client connection (keep-alive loop)."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(Response.error(exc.status, exc.message).encode())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self.dispatch(request)
+                writer.write(response.encode())
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def dispatch(self, request: Request) -> Response:
+        """Route one request, recording request/response metrics."""
+        self.metrics.inc(
+            "requests_total",
+            {"endpoint": _endpoint_label(request.method, request.path)},
+        )
+        start = time.perf_counter()
+        try:
+            response = await self._route(request)
+        except HttpError as exc:
+            response = Response.error(exc.status, exc.message)
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            response = Response.error(
+                HTTPStatus.INTERNAL_SERVER_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+        self.metrics.inc("responses_total", {"status": str(response.status)})
+        self.metrics.observe("request_seconds", time.perf_counter() - start)
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics(request)
+        if path == "/v1/experiments" and method == "POST":
+            return await self._post_experiment(request)
+        if path == "/v1/evaluate" and method == "POST":
+            return await self._post_evaluate(request)
+        if path == "/v1/results" and method == "GET":
+            return Response.from_json(self.store.describe())
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._get_job(path)
+        raise HttpError(HTTPStatus.NOT_FOUND, f"no route for {method} {path}")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _healthz(self) -> Response:
+        return Response.from_json(
+            {
+                "status": "ok",
+                "version": package_version(),
+                "generator_version": GENERATOR_VERSION,
+                "uptime_seconds": time.time() - self.started_at,
+                "queue_depth": self.scheduler.queue_depth,
+                "store": {
+                    "persistent": self.store.persistent,
+                    "root": self.store.root,
+                    "entries": len(self.store),
+                    "bytes": self.store.current_bytes,
+                },
+            }
+        )
+
+    def _metrics(self, request: Request) -> Response:
+        self.metrics.set_gauge("queue_depth", self.scheduler.queue_depth)
+        self.metrics.set_gauge("result_store_entries", len(self.store))
+        self.metrics.set_gauge("result_store_bytes", self.store.current_bytes)
+        if request.query.get("format") == "json":
+            return Response.from_json(self.metrics.to_dict())
+        return Response.from_text(
+            self.metrics.render_prometheus(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _settings_from(self, payload: dict) -> ExperimentSettings:
+        try:
+            n_instructions = int(
+                payload.get("instructions", DEFAULT_TRACE_INSTRUCTIONS)
+            )
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST, f"bad settings: {exc}"
+            ) from exc
+        if n_instructions <= 0:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST, "instructions must be positive"
+            )
+        return ExperimentSettings(n_instructions=n_instructions, seed=seed)
+
+    @staticmethod
+    def _job_response(job, wait: bool) -> Response:
+        status = HTTPStatus.OK if job.finished else HTTPStatus.ACCEPTED
+        if job.status == "failed":
+            status = HTTPStatus.INTERNAL_SERVER_ERROR
+        return Response.from_json(job.to_dict(), status)
+
+    async def _post_experiment(self, request: Request) -> Response:
+        payload = request.json()
+        name = payload.get("experiment")
+        registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+        if not name or name not in registry:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                f"unknown experiment {name!r}; available: "
+                f"{', '.join(registry)}",
+            )
+        settings = self._settings_from(payload)
+        job = await self.scheduler.submit_experiment(
+            name, registry[name], settings
+        )
+        if payload.get("wait"):
+            await job.wait()
+        return self._job_response(job, bool(payload.get("wait")))
+
+    async def _post_evaluate(self, request: Request) -> Response:
+        payload = request.json()
+        workload = payload.get("workload")
+        os_name = payload.get("os", "mach3")
+        config_name = payload.get("config", "economy")
+        mechanism = payload.get("mechanism", "demand")
+        if not workload:
+            raise HttpError(HTTPStatus.BAD_REQUEST, "workload is required")
+        try:
+            get_workload(workload, os_name)
+        except KeyError as exc:
+            raise HttpError(HTTPStatus.BAD_REQUEST, str(exc)) from exc
+        if config_name not in CONFIGS:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                f"unknown config {config_name!r}; expected one of {CONFIGS}",
+            )
+        if mechanism not in MECHANISMS:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                f"unknown mechanism {mechanism!r}; expected one of "
+                f"{MECHANISMS}",
+            )
+        job = await self.scheduler.submit_evaluate(
+            EvaluateRequest(
+                workload=workload,
+                os_name=os_name,
+                config_name=config_name,
+                mechanism=mechanism,
+                settings=self._settings_from(payload),
+            )
+        )
+        if payload.get("wait"):
+            await job.wait()
+        return self._job_response(job, bool(payload.get("wait")))
+
+    def _get_job(self, path: str) -> Response:
+        remainder = path[len("/v1/jobs/"):]
+        want_result = remainder.endswith("/result")
+        job_id = remainder[: -len("/result")] if want_result else remainder
+        job = self.scheduler.get_job(job_id)
+        if job is None:
+            raise HttpError(HTTPStatus.NOT_FOUND, f"unknown job {job_id!r}")
+        if not want_result:
+            return self._job_response(job, wait=False)
+        if not job.finished:
+            return Response.from_json(
+                job.to_dict(include_result=False), HTTPStatus.ACCEPTED
+            )
+        if job.status == "failed":
+            raise HttpError(HTTPStatus.INTERNAL_SERVER_ERROR, job.error or "")
+        if job.rendering is not None:
+            return Response.from_text(job.rendering)
+        return Response.from_json(job.result)
+
+
+async def start_service(
+    app: ServiceApp, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+):
+    """Bind and return the asyncio server (``port=0`` → ephemeral)."""
+    return await asyncio.start_server(app.handle_connection, host, port)
+
+
+async def _serve_forever(app: ServiceApp, host: str, port: int) -> None:
+    server = await start_service(app, host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro serve: listening on http://{bound[0]}:{bound[1]}")
+    async with server:
+        await server.serve_forever()
+
+
+def run_service(
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    store: ResultStore | None = None,
+    jobs: int = 1,
+    batch_window: float = 0.0,
+) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    app = ServiceApp(store=store, jobs=jobs, batch_window=batch_window)
+    try:
+        asyncio.run(_serve_forever(app, host, port))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        app.close()
+    return 0

@@ -1,0 +1,190 @@
+"""Service metrics: counters, gauges, and latency histograms.
+
+The serving layer wants the classic trio — request/hit/miss counters, a
+queue-depth gauge, and per-phase latency histograms — exported in the
+Prometheus text format at ``GET /metrics`` (and as JSON for tests and
+tooling).  Everything here is stdlib: a handful of dicts behind one
+lock, safe to update from the event loop, from job worker threads, and
+from the :func:`repro.runner.timing.add_phase_observer` callback that
+feeds simulation phase timings in live.
+
+Metric identity is ``(name, labels)`` where labels is a small dict
+(``{"phase": "simulate"}``); the registry namespaces everything under
+the ``repro_`` prefix on render.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+#: Histogram bucket upper bounds, in seconds.  Spans sub-millisecond
+#: cache hits through multi-minute full-report sweeps.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
+
+#: Prefix applied to every exported metric name.
+METRIC_PREFIX = "repro_"
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple:
+    """Canonical hashable identity of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(label_key: tuple, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in label_key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (cumulative, Prometheus-style)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Cumulative bucket counts, ``+Inf`` last (== ``count``)."""
+        out, running = [], 0
+        for n in self.counts:
+            running += n
+            out.append(running)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "cumulative": self.cumulative(),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe registry of the service's counters/gauges/histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[tuple, float]] = {}
+        self._gauges: dict[str, dict[tuple, float]] = {}
+        self._histograms: dict[str, dict[tuple, Histogram]] = {}
+
+    # -- updates -------------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        amount: float = 1,
+    ) -> None:
+        """Add ``amount`` to a counter (created at zero on first use)."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + amount
+
+    def set_gauge(
+        self, name: str, value: float, labels: Mapping[str, str] | None = None
+    ) -> None:
+        """Set a gauge to an absolute value."""
+        with self._lock:
+            self._gauges.setdefault(name, {})[_label_key(labels)] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Record one latency sample into a histogram."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            histogram = series.get(key)
+            if histogram is None:
+                histogram = series[key] = Histogram()
+            histogram.observe(value)
+
+    # -- reads ---------------------------------------------------------
+
+    def counter_value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        """Current value of one counter series (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every metric."""
+        def expand(series):
+            return [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(series.items())
+            ]
+
+        with self._lock:
+            return {
+                "counters": {
+                    name: expand(series)
+                    for name, series in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: expand(series)
+                    for name, series in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: [
+                        {"labels": dict(key), **histogram.to_dict()}
+                        for key, histogram in sorted(series.items())
+                    ]
+                    for name, series in sorted(self._histograms.items())
+                },
+            }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of every metric."""
+        lines: list[str] = []
+        with self._lock:
+            for name, series in sorted(self._counters.items()):
+                full = METRIC_PREFIX + name
+                lines.append(f"# TYPE {full} counter")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{full}{_render_labels(key)} {value:g}")
+            for name, series in sorted(self._gauges.items()):
+                full = METRIC_PREFIX + name
+                lines.append(f"# TYPE {full} gauge")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{full}{_render_labels(key)} {value:g}")
+            for name, series in sorted(self._histograms.items()):
+                full = METRIC_PREFIX + name
+                lines.append(f"# TYPE {full} histogram")
+                for key, histogram in sorted(series.items()):
+                    cumulative = histogram.cumulative()
+                    bounds = [f"{b:g}" for b in histogram.buckets] + ["+Inf"]
+                    for bound, count in zip(bounds, cumulative):
+                        labels = _render_labels(key, f'le="{bound}"')
+                        lines.append(f"{full}_bucket{labels} {count}")
+                    labels = _render_labels(key)
+                    lines.append(f"{full}_sum{labels} {histogram.total:g}")
+                    lines.append(f"{full}_count{labels} {histogram.count}")
+        return "\n".join(lines) + "\n"

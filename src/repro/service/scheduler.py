@@ -1,0 +1,403 @@
+"""Job scheduling for the simulation server.
+
+Three responsibilities sit between the HTTP layer and the compute layer
+(:mod:`repro.runner.pool`):
+
+* **Single-flight coalescing** — identical requests (same canonical
+  content key) arriving while a job is in flight attach to the existing
+  job instead of re-running it; both callers get the same result and
+  the experiment executes exactly once.
+* **Batching** — compatible ``evaluate`` requests (same OS/trace-length/
+  seed signature, i.e. same synthesized traces) arriving within one
+  batch window are dispatched as a single :func:`run_cells` call, so a
+  burst of point queries shares trace synthesis and the process pool.
+* **Non-blocking dispatch** — simulation work runs on a small thread
+  pool (which itself fans out over the process pool when ``jobs > 1``),
+  keeping the asyncio event loop free to accept and answer requests.
+
+Completed results are written to the content-addressed
+:class:`~repro.service.store.ResultStore`; a request whose key is
+already stored completes immediately as a recorded hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.config import MemorySystemConfig
+from repro.core.study import evaluate
+from repro.experiments.common import (
+    ExperimentSettings,
+    canonical_job_key,
+    settings_record,
+)
+from repro.runner import timing
+from repro.runner.pool import ExperimentCell, run_cells, run_experiment
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Named memory-system configurations accepted by evaluate requests.
+CONFIGS = ("economy", "high-performance")
+
+_job_counter = itertools.count(1)
+
+
+def _named_config(config_name: str) -> MemorySystemConfig:
+    if config_name == "economy":
+        return MemorySystemConfig.economy()
+    if config_name == "high-performance":
+        return MemorySystemConfig.high_performance()
+    raise ValueError(
+        f"unknown config {config_name!r}; expected one of {CONFIGS}"
+    )
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """One point query: a workload against a named configuration."""
+
+    workload: str
+    os_name: str
+    config_name: str
+    mechanism: str
+    settings: ExperimentSettings
+
+    @property
+    def batch_signature(self) -> tuple:
+        """Requests sharing this signature share synthesized traces."""
+        return (
+            self.settings.n_instructions,
+            self.settings.seed,
+            self.settings.warmup_fraction,
+        )
+
+    def key(self) -> str:
+        return canonical_job_key(
+            "evaluate",
+            self.workload,
+            self.settings,
+            extra={
+                "os": self.os_name,
+                "config": self.config_name,
+                "mechanism": self.mechanism,
+            },
+        )
+
+
+class Job:
+    """One unit of served work, shared by every coalesced caller."""
+
+    def __init__(self, key: str, kind: str, name: str):
+        self.id = f"job-{next(_job_counter):06d}-{uuid.uuid4().hex[:8]}"
+        self.key = key
+        self.kind = kind
+        self.name = name
+        self.status = PENDING
+        self.created_at = time.time()
+        self.finished_at: float | None = None
+        self.coalesced = 0
+        self.source: str | None = None  # "executed" | "store"
+        self.result: dict | None = None
+        self.rendering: str | None = None
+        self.error: str | None = None
+        self._event = asyncio.Event()
+
+    async def wait(self) -> None:
+        """Block until the job reaches a terminal state."""
+        await self._event.wait()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (DONE, FAILED)
+
+    def _complete(
+        self, result: dict, rendering: str | None, source: str
+    ) -> None:
+        self.result = result
+        self.rendering = rendering
+        self.source = source
+        self.status = DONE
+        self.finished_at = time.time()
+        self._event.set()
+
+    def _fail(self, error: str) -> None:
+        self.error = error
+        self.status = FAILED
+        self.finished_at = time.time()
+        self._event.set()
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        record = {
+            "id": self.id,
+            "key": self.key,
+            "kind": self.kind,
+            "name": self.name,
+            "status": self.status,
+            "coalesced": self.coalesced,
+            "source": self.source,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if include_result and self.result is not None:
+            record["result"] = self.result
+        return record
+
+
+def _evaluate_cell(
+    workload: str,
+    os_name: str,
+    config_name: str,
+    mechanism: str,
+    n_instructions: int,
+    seed: int,
+    warmup_fraction: float,
+) -> dict:
+    """Module-level (picklable) compute function for one evaluate cell."""
+    result = evaluate(
+        workload,
+        os_name,
+        _named_config(config_name),
+        mechanism=mechanism,
+        n_instructions=n_instructions,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+    )
+    return {
+        "kind": "evaluate",
+        "name": workload,
+        "os": os_name,
+        "config": config_name,
+        "mechanism": mechanism,
+        "settings": {
+            "n_instructions": n_instructions,
+            "seed": seed,
+            "warmup_fraction": warmup_fraction,
+        },
+        "metrics": {
+            "mpi": result.l1.mpi,
+            "l2_mpi": result.l2_mpi,
+            "cpi_l1": result.cpi_l1,
+            "cpi_l2": result.cpi_l2,
+            "cpi_instr": result.cpi_instr,
+        },
+    }
+
+
+class JobScheduler:
+    """Coalescing, batching dispatcher onto the pool runner."""
+
+    def __init__(
+        self,
+        store,
+        metrics,
+        *,
+        jobs: int = 1,
+        batch_window: float = 0.0,
+        max_workers: int = 4,
+        max_finished_jobs: int = 1024,
+    ):
+        self.store = store
+        self.metrics = metrics
+        self.jobs = jobs
+        self.batch_window = batch_window
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-job"
+        )
+        self._inflight: dict[str, Job] = {}
+        self._jobs: dict[str, Job] = {}
+        self._pending_eval: dict[tuple, list[tuple[EvaluateRequest, Job]]] = {}
+        self._max_finished_jobs = max_finished_jobs
+        # Live per-phase latency feed: the runner's phase contexts (and
+        # the pool's worker-timing replay) land in the histograms as
+        # they happen, not only at job completion.
+        self._phase_observer = lambda name, seconds: self.metrics.observe(
+            "phase_seconds", seconds, {"phase": name}
+        )
+        timing.add_phase_observer(self._phase_observer)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the timing feed and stop the worker threads."""
+        timing.remove_phase_observer(self._phase_observer)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet finished."""
+        return len(self._inflight)
+
+    def get_job(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        # Bound the finished-job ledger so a long-lived server doesn't
+        # accumulate every job ever answered.
+        if len(self._jobs) > self._max_finished_jobs:
+            for stale_id, stale in list(self._jobs.items()):
+                if stale.finished:
+                    del self._jobs[stale_id]
+                if len(self._jobs) <= self._max_finished_jobs:
+                    break
+
+    # -- submission ----------------------------------------------------
+
+    def _coalesce(self, key: str) -> Job | None:
+        job = self._inflight.get(key)
+        if job is not None:
+            job.coalesced += 1
+            self.metrics.inc("jobs_coalesced_total")
+        return job
+
+    def _check_store(self, job: Job) -> bool:
+        """Complete ``job`` from the result store if its key is present."""
+        payload = self.store.get(job.key)
+        if payload is None:
+            self.metrics.inc("result_store_misses_total")
+            return False
+        self.metrics.inc("result_store_hits_total")
+        job._complete(payload, self.store.get_rendering(job.key), "store")
+        return True
+
+    async def submit_experiment(
+        self, name: str, module, settings: ExperimentSettings
+    ) -> Job:
+        """Submit one experiment module run (single-flight per key)."""
+        key = canonical_job_key("experiment", name, settings)
+        existing = self._coalesce(key)
+        if existing is not None:
+            return existing
+        job = Job(key, "experiment", name)
+        self._register(job)
+        self.metrics.inc("jobs_submitted_total", {"kind": "experiment"})
+        if self._check_store(job):
+            return job
+        self._inflight[key] = job
+        job.status = RUNNING
+        asyncio.ensure_future(self._run_experiment_job(job, name, module, settings))
+        return job
+
+    async def _run_experiment_job(
+        self, job: Job, name: str, module, settings: ExperimentSettings
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            result, report = await loop.run_in_executor(
+                self._executor, run_experiment, module, settings, self.jobs, name
+            )
+            payload = {
+                "kind": "experiment",
+                "name": name,
+                "settings": settings_record(settings),
+                "wall_seconds": report.wall_seconds,
+                "phase_totals": report.phase_totals,
+            }
+            rendering = result.render()
+        except Exception as exc:
+            self.metrics.inc("jobs_failed_total", {"kind": "experiment"})
+            job._fail(str(exc))
+        else:
+            self.store.put(job.key, payload, rendering)
+            self.metrics.inc("jobs_executed_total", {"kind": "experiment"})
+            self.metrics.observe(
+                "job_seconds",
+                time.perf_counter() - start,
+                {"kind": "experiment"},
+            )
+            job._complete(payload, rendering, "executed")
+        finally:
+            self._inflight.pop(job.key, None)
+
+    async def submit_evaluate(self, request: EvaluateRequest) -> Job:
+        """Submit one point evaluation (coalesced, then batched)."""
+        key = request.key()
+        existing = self._coalesce(key)
+        if existing is not None:
+            return existing
+        job = Job(key, "evaluate", request.workload)
+        self._register(job)
+        self.metrics.inc("jobs_submitted_total", {"kind": "evaluate"})
+        if self._check_store(job):
+            return job
+        self._inflight[key] = job
+        job.status = RUNNING
+        signature = request.batch_signature
+        pending = self._pending_eval.get(signature)
+        if pending is None:
+            # First request of this signature opens a batch window; every
+            # compatible request landing before the flush joins the batch.
+            self._pending_eval[signature] = [(request, job)]
+            loop = asyncio.get_running_loop()
+            if self.batch_window > 0:
+                loop.call_later(
+                    self.batch_window, self._schedule_flush, signature
+                )
+            else:
+                loop.call_soon(self._schedule_flush, signature)
+        else:
+            pending.append((request, job))
+        return job
+
+    def _schedule_flush(self, signature: tuple) -> None:
+        asyncio.ensure_future(self._flush_evaluates(signature))
+
+    async def _flush_evaluates(self, signature: tuple) -> None:
+        batch = self._pending_eval.pop(signature, [])
+        if not batch:
+            return
+        self.metrics.inc("eval_batches_total")
+        self.metrics.observe("eval_batch_size", len(batch))
+        cells = [
+            ExperimentCell(
+                key=(
+                    request.workload,
+                    request.os_name,
+                    request.config_name,
+                    request.mechanism,
+                ),
+                fn=_evaluate_cell,
+                args=(
+                    request.workload,
+                    request.os_name,
+                    request.config_name,
+                    request.mechanism,
+                    request.settings.n_instructions,
+                    request.settings.seed,
+                    request.settings.warmup_fraction,
+                ),
+            )
+            for request, _ in batch
+        ]
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            results, _ = await loop.run_in_executor(
+                self._executor, run_cells, cells, self.jobs
+            )
+        except Exception as exc:
+            for _, job in batch:
+                self.metrics.inc("jobs_failed_total", {"kind": "evaluate"})
+                job._fail(str(exc))
+                self._inflight.pop(job.key, None)
+            return
+        elapsed = time.perf_counter() - start
+        for (_, job), payload in zip(batch, results):
+            self.store.put(job.key, payload)
+            self.metrics.inc("jobs_executed_total", {"kind": "evaluate"})
+            job._complete(payload, None, "executed")
+            self._inflight.pop(job.key, None)
+        self.metrics.observe("job_seconds", elapsed, {"kind": "evaluate"})

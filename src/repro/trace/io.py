@@ -103,6 +103,13 @@ def load_trace_columns(
         ]
     except (OSError, json.JSONDecodeError) as exc:
         raise ValueError(f"{directory}: not a trace-column directory") from exc
+    except ValueError as exc:
+        # numpy raises ValueError for truncated/corrupt .npy files (in
+        # both mmap and eager modes); name the offending directory so
+        # cache users can report — or reap — the bad entry.
+        raise ValueError(
+            f"{directory}: truncated or corrupt trace column ({exc})"
+        ) from exc
     version = int(meta.get("version", -1))
     if version != _FORMAT_VERSION:
         raise ValueError(

@@ -62,6 +62,37 @@ class TestCli:
         assert trace.instruction_count == 20000
 
 
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        from repro import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {package_version()}" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--host", "0.0.0.0",
+             "--batch-window", "0.05"]
+        )
+        assert args.command == "serve"
+        assert args.port == 9000
+        assert args.host == "0.0.0.0"
+        assert args.batch_window == 0.05
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.host == "127.0.0.1"
+
+
 class TestCliReportExtensions:
     def test_report_flag_parses(self):
         from repro.cli import build_parser
@@ -109,6 +140,67 @@ class TestCacheAndJobsCli:
         assert "entries: 22" in out
         assert main(["--cache-dir", cache_dir, "cache", "clear"]) == 0
         assert "cleared 22 entries" in capsys.readouterr().out
+
+    def test_cache_info_json(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            [
+                "--instructions", "20000",
+                "--cache-dir", cache_dir,
+                "experiment", "table5",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", cache_dir, "cache", "info", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["root"] == cache_dir
+        assert record["entry_count"] == 22
+        assert record["total_bytes"] > 0
+        entry = record["entries"][0]
+        assert {"name", "os", "n_instructions", "seed", "bytes",
+                "artifacts", "path"} <= set(entry)
+
+    def test_cache_info_json_unconfigured(self, capsys):
+        import json
+
+        assert main(["cache", "info", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["root"] is None
+
+    def test_results_info_and_clear(self, tmp_path, capsys):
+        import json
+
+        from repro.service.store import ResultStore
+
+        cache_dir = str(tmp_path / "cache")
+        store = ResultStore(str(tmp_path / "cache" / "results"))
+        store.put("f" * 64, {"kind": "experiment", "name": "table5"}, "body")
+
+        assert main(["--cache-dir", cache_dir, "results", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "table5" in out
+
+        assert main(
+            ["--cache-dir", cache_dir, "results", "info", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["entry_count"] == 1
+        assert record["entries"][0]["key"] == "f" * 64
+
+        assert main(["--cache-dir", cache_dir, "results", "clear"]) == 0
+        assert "cleared 1 results" in capsys.readouterr().out
+        assert main(
+            ["--cache-dir", cache_dir, "results", "info", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["entry_count"] == 0
+
+    def test_results_unconfigured(self, capsys):
+        assert main(["results", "info"]) == 0
+        assert "no result store configured" in capsys.readouterr().out
+        assert main(["results", "clear"]) == 2
 
     def test_no_disk_cache_flag(self, tmp_path, capsys, monkeypatch):
         cache_dir = tmp_path / "cache"

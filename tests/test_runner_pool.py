@@ -10,6 +10,7 @@ import pytest
 from repro.experiments import figure1, table1, table4, table5
 from repro.experiments.common import ExperimentSettings
 from repro.runner.pool import (
+    CellExecutionError,
     ExperimentCell,
     has_cells,
     resolve_jobs,
@@ -34,6 +35,10 @@ def _no_disk_cache():
 
 def _double(x):
     return 2 * x
+
+
+def _boom(x):
+    raise ValueError(f"bad input {x}")
 
 
 class TestRunCells:
@@ -63,6 +68,50 @@ class TestRunCells:
         assert resolve_jobs(3) == 3
         assert resolve_jobs(None) >= 1
         assert resolve_jobs(0) >= 1
+
+
+class TestCellFailures:
+    """Worker failures must name the cell that died (satellite fix)."""
+
+    def _mixed_cells(self):
+        return [
+            ExperimentCell(key=("ok", 0), fn=_double, args=(1,)),
+            ExperimentCell(key=("groff", "mach3", "8KB"), fn=_boom, args=(7,)),
+        ]
+
+    def test_serial_failure_names_cell(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(self._mixed_cells(), jobs=1)
+        message = str(excinfo.value)
+        assert "('groff', 'mach3', '8KB')" in message
+        assert "ValueError: bad input 7" in message
+        assert excinfo.value.key == ("groff", "mach3", "8KB")
+        # The original exception stays chained for serial runs.
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_failure_names_cell(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(self._mixed_cells(), jobs=2)
+        assert "('groff', 'mach3', '8KB')" in str(excinfo.value)
+        assert excinfo.value.key == ("groff", "mach3", "8KB")
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        original = CellExecutionError(("a", 1), "ValueError: nope")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.key == ("a", 1)
+        assert clone.message == "ValueError: nope"
+        assert str(clone) == str(original)
+
+    def test_no_double_wrapping(self):
+        def reraise():
+            raise CellExecutionError(("inner",), "RuntimeError: x")
+
+        cell = ExperimentCell(key=("outer",), fn=reraise)
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells([cell], jobs=1)
+        assert excinfo.value.key == ("inner",)
 
 
 class TestCellApi:

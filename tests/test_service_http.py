@@ -1,0 +1,269 @@
+"""End-to-end tests of the simulation server over real sockets.
+
+The acceptance bar for the serving tier: submit the same experiment
+twice concurrently — both callers get identical results while the
+experiment executes exactly once (single-flight coalescing) — then
+restart the server over the same store directory and observe the
+repeat request answered from the persistent result store, with the hit
+recorded in ``/metrics``.
+"""
+
+import asyncio
+import json
+
+from repro.service.app import ServiceApp, start_service
+from repro.service.store import ResultStore
+
+EXPERIMENT_BODY = {"experiment": "table2", "instructions": 20_000, "wait": True}
+
+
+async def _request(port, method, path, body=None, extra_headers=""):
+    """One HTTP exchange against localhost:port; returns (status, bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+        f"Connection: close\r\nContent-Length: {len(payload)}\r\n"
+        f"{extra_headers}\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    return int(head_part.split()[1]), body_part
+
+
+async def _json_request(port, method, path, body=None):
+    status, raw = await _request(port, method, path, body)
+    return status, json.loads(raw)
+
+
+class _Server:
+    """One in-process server bound to an ephemeral port."""
+
+    def __init__(self, store_root, **app_kwargs):
+        self.app = ServiceApp(store=ResultStore(store_root), **app_kwargs)
+        self.server = None
+        self.port = None
+
+    async def __aenter__(self):
+        self.server = await start_service(self.app, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        self.server.close()
+        await self.server.wait_closed()
+        self.app.close()
+
+
+class TestEndToEnd:
+    def test_coalescing_then_restart_hits_store(self, tmp_path):
+        """The ISSUE's acceptance scenario, wire to wire."""
+        store_root = tmp_path / "results"
+
+        async def first_generation():
+            async with _Server(store_root) as served:
+                (s1, job1), (s2, job2) = await asyncio.gather(
+                    _json_request(
+                        served.port, "POST", "/v1/experiments", EXPERIMENT_BODY
+                    ),
+                    _json_request(
+                        served.port, "POST", "/v1/experiments", EXPERIMENT_BODY
+                    ),
+                )
+                assert s1 == 200 and s2 == 200
+                # Both callers saw the same job and identical results.
+                assert job1["id"] == job2["id"]
+                assert job1["key"] == job2["key"]
+                assert job1["result"] == job2["result"]
+                assert job1["source"] == "executed"
+                metrics = served.app.metrics
+                assert metrics.counter_value(
+                    "jobs_executed_total", {"kind": "experiment"}) == 1
+                assert metrics.counter_value("jobs_coalesced_total") == 1
+                _, rendering = await _request(
+                    served.port, "GET", f"/v1/jobs/{job1['id']}/result"
+                )
+                return job1, rendering
+
+        async def second_generation(first_job, first_rendering):
+            # Fresh app + store over the same directory = cold restart.
+            async with _Server(store_root) as served:
+                status, job = await _json_request(
+                    served.port, "POST", "/v1/experiments", EXPERIMENT_BODY
+                )
+                assert status == 200
+                assert job["status"] == "done"
+                assert job["source"] == "store"
+                assert job["key"] == first_job["key"]
+                _, rendering = await _request(
+                    served.port, "GET", f"/v1/jobs/{job['id']}/result"
+                )
+                assert rendering == first_rendering
+                # The hit is visible on the metrics endpoint.
+                _, metrics_text = await _request(
+                    served.port, "GET", "/metrics"
+                )
+                assert (
+                    b"repro_result_store_hits_total 1" in metrics_text
+                )
+                assert served.app.metrics.counter_value(
+                    "jobs_executed_total", {"kind": "experiment"}) == 0
+
+        job, rendering = asyncio.run(first_generation())
+        assert b"Table 2" in rendering
+        asyncio.run(second_generation(job, rendering))
+
+    def test_evaluate_and_poll(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                status, job = await _json_request(
+                    served.port, "POST", "/v1/evaluate",
+                    {"workload": "gcc", "instructions": 20_000},
+                )
+                assert status in (200, 202)
+                job_id = job["id"]
+                for _ in range(600):
+                    status, job = await _json_request(
+                        served.port, "GET", f"/v1/jobs/{job_id}"
+                    )
+                    if job["status"] in ("done", "failed"):
+                        break
+                    await asyncio.sleep(0.05)
+                assert job["status"] == "done"
+                assert job["result"]["metrics"]["cpi_instr"] > 1.0
+                status, record = await _json_request(
+                    served.port, "GET", f"/v1/jobs/{job_id}/result"
+                )
+                assert status == 200
+                assert record["kind"] == "evaluate"
+
+        asyncio.run(body())
+
+    def test_healthz_reports_versions(self, tmp_path):
+        from repro import package_version
+        from repro.workloads.generator import GENERATOR_VERSION
+
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                status, record = await _json_request(
+                    served.port, "GET", "/healthz"
+                )
+                assert status == 200
+                assert record["status"] == "ok"
+                assert record["version"] == package_version()
+                assert record["generator_version"] == GENERATOR_VERSION
+                assert record["store"]["persistent"] is True
+                assert record["queue_depth"] == 0
+
+        asyncio.run(body())
+
+    def test_results_inventory_endpoint(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                await _json_request(
+                    served.port, "POST", "/v1/experiments", EXPERIMENT_BODY
+                )
+                status, record = await _json_request(
+                    served.port, "GET", "/v1/results"
+                )
+                assert status == 200
+                assert record["entry_count"] == 1
+                assert record["entries"][0]["kind"] == "experiment"
+
+        asyncio.run(body())
+
+    def test_metrics_json_format(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                await _request(served.port, "GET", "/healthz")
+                status, record = await _json_request(
+                    served.port, "GET", "/metrics?format=json"
+                )
+                assert status == 200
+                assert "counters" in record and "gauges" in record
+
+        asyncio.run(body())
+
+
+class TestErrorPaths:
+    def test_errors(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                port = served.port
+                status, record = await _json_request(port, "GET", "/nope")
+                assert status == 404
+
+                status, record = await _json_request(
+                    port, "POST", "/v1/experiments", {"experiment": "table99"}
+                )
+                assert status == 400
+                assert "unknown experiment" in record["error"]
+
+                status, record = await _json_request(
+                    port, "POST", "/v1/evaluate", {"workload": "zzz"}
+                )
+                assert status == 400
+
+                status, record = await _json_request(
+                    port, "POST", "/v1/evaluate",
+                    {"workload": "gcc", "config": "turbo"},
+                )
+                assert status == 400
+                assert "unknown config" in record["error"]
+
+                status, record = await _json_request(
+                    port, "POST", "/v1/experiments",
+                    {"experiment": "table2", "instructions": -5},
+                )
+                assert status == 400
+
+                status, record = await _json_request(
+                    port, "GET", "/v1/jobs/not-a-job"
+                )
+                assert status == 404
+
+                # Malformed JSON body.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b"POST /v1/experiments HTTP/1.1\r\nHost: x\r\n"
+                    b"Connection: close\r\nContent-Length: 5\r\n\r\n{oops"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b" 400 " in raw.split(b"\r\n", 1)[0]
+
+        asyncio.run(body())
+
+    def test_keep_alive_serves_two_requests(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", served.port
+                )
+                one = (
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 0\r\n\r\n"
+                )
+                writer.write(one + one)
+                await writer.drain()
+                # Two complete responses arrive on the one connection.
+                data = b""
+                while data.count(b'"status": "ok"') < 2:
+                    chunk = await asyncio.wait_for(reader.read(4096), 5)
+                    if not chunk:
+                        break
+                    data += chunk
+                assert data.count(b'"status": "ok"') == 2
+                writer.close()
+
+        asyncio.run(body())

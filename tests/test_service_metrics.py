@@ -1,0 +1,88 @@
+"""Unit tests for the service metrics registry."""
+
+import json
+import threading
+
+from repro.service.metrics import Histogram, ServiceMetrics
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.cumulative() == [1, 3, 4]
+        assert histogram.count == 4
+        assert histogram.total == 0.05 + 0.5 + 0.7 + 5.0
+
+    def test_boundary_is_inclusive(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0]
+
+
+class TestCountersAndGauges:
+    def test_counter_labels_are_separate_series(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", {"endpoint": "/a"})
+        metrics.inc("requests_total", {"endpoint": "/a"})
+        metrics.inc("requests_total", {"endpoint": "/b"})
+        assert metrics.counter_value("requests_total", {"endpoint": "/a"}) == 2
+        assert metrics.counter_value("requests_total", {"endpoint": "/b"}) == 1
+        assert metrics.counter_value("requests_total", {"endpoint": "/c"}) == 0
+
+    def test_unlabelled_counter(self):
+        metrics = ServiceMetrics()
+        metrics.inc("hits_total", amount=3)
+        assert metrics.counter_value("hits_total") == 3
+
+    def test_gauge_overwrites(self):
+        metrics = ServiceMetrics()
+        metrics.set_gauge("queue_depth", 4)
+        metrics.set_gauge("queue_depth", 2)
+        assert metrics.to_dict()["gauges"]["queue_depth"][0]["value"] == 2
+
+    def test_thread_safety(self):
+        metrics = ServiceMetrics()
+
+        def spin():
+            for _ in range(1000):
+                metrics.inc("spins_total")
+                metrics.observe("spin_seconds", 0.01)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter_value("spins_total") == 4000
+
+
+class TestRendering:
+    def _populated(self) -> ServiceMetrics:
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", {"endpoint": "GET /healthz"})
+        metrics.set_gauge("queue_depth", 1)
+        metrics.observe("phase_seconds", 0.002, {"phase": "simulate"})
+        metrics.observe("phase_seconds", 70.0, {"phase": "simulate"})
+        return metrics
+
+    def test_prometheus_text(self):
+        text = self._populated().render_prometheus()
+        assert '# TYPE repro_requests_total counter' in text
+        assert 'repro_requests_total{endpoint="GET /healthz"} 1' in text
+        assert '# TYPE repro_queue_depth gauge' in text
+        assert 'repro_phase_seconds_bucket{phase="simulate",le="+Inf"} 2' in text
+        assert 'repro_phase_seconds_count{phase="simulate"} 2' in text
+        assert 'repro_phase_seconds_sum{phase="simulate"}' in text
+        # Buckets are cumulative: the 0.005 bucket holds the 0.002 sample.
+        assert 'repro_phase_seconds_bucket{phase="simulate",le="0.005"} 1' in text
+
+    def test_json_snapshot(self):
+        record = self._populated().to_dict()
+        json.dumps(record)
+        assert record["counters"]["requests_total"][0]["value"] == 1
+        histogram = record["histograms"]["phase_seconds"][0]
+        assert histogram["labels"] == {"phase": "simulate"}
+        assert histogram["count"] == 2

@@ -1,0 +1,209 @@
+"""Unit tests for the coalescing/batching job scheduler."""
+
+import asyncio
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.common import ExperimentSettings
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import EvaluateRequest, JobScheduler
+from repro.service.store import ResultStore
+
+SETTINGS = ExperimentSettings(n_instructions=20_000, seed=0)
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _evaluate_request(workload="gcc", config="economy", mechanism="demand"):
+    return EvaluateRequest(
+        workload=workload,
+        os_name="mach3",
+        config_name=config,
+        mechanism=mechanism,
+        settings=SETTINGS,
+    )
+
+
+@pytest.fixture
+def make_scheduler(tmp_path):
+    """Factory building schedulers that share one persistent store."""
+    created = []
+
+    def build(**kwargs):
+        store = ResultStore(tmp_path / "results")
+        scheduler = JobScheduler(store, ServiceMetrics(), **kwargs)
+        created.append(scheduler)
+        return scheduler
+
+    yield build
+    for scheduler in created:
+        scheduler.close()
+
+
+class TestExperimentJobs:
+    def test_coalesced_single_flight(self, make_scheduler):
+        scheduler = make_scheduler()
+
+        async def body():
+            first, second = await asyncio.gather(
+                scheduler.submit_experiment("table2", table2, SETTINGS),
+                scheduler.submit_experiment("table2", table2, SETTINGS),
+            )
+            await asyncio.gather(first.wait(), second.wait())
+            return first, second
+
+        first, second = _run(body())
+        assert first is second  # one job served both callers
+        assert first.status == "done"
+        assert first.coalesced == 1
+        assert first.source == "executed"
+        assert "Table 2" in first.rendering
+        metrics = scheduler.metrics
+        assert metrics.counter_value(
+            "jobs_executed_total", {"kind": "experiment"}) == 1
+        assert metrics.counter_value("jobs_coalesced_total") == 1
+        assert metrics.counter_value(
+            "jobs_submitted_total", {"kind": "experiment"}) == 1
+
+    def test_store_hit_after_restart(self, make_scheduler):
+        warm = make_scheduler()
+
+        async def run_once(scheduler):
+            job = await scheduler.submit_experiment("table2", table2, SETTINGS)
+            await job.wait()
+            return job
+
+        executed = _run(run_once(warm))
+        assert executed.source == "executed"
+
+        # A fresh scheduler + store instance over the same directory
+        # simulates a cold server restart.
+        cold = make_scheduler()
+        replayed = _run(run_once(cold))
+        assert replayed.status == "done"
+        assert replayed.source == "store"
+        assert replayed.rendering == executed.rendering
+        assert cold.metrics.counter_value("result_store_hits_total") == 1
+        assert cold.metrics.counter_value(
+            "jobs_executed_total", {"kind": "experiment"}) == 0
+
+    def test_job_lookup_and_queue_depth(self, make_scheduler):
+        scheduler = make_scheduler()
+
+        async def body():
+            job = await scheduler.submit_experiment("table2", table2, SETTINGS)
+            assert scheduler.get_job(job.id) is job
+            assert scheduler.get_job("nope") is None
+            await job.wait()
+            return job
+
+        _run(body())
+        assert scheduler.queue_depth == 0
+
+    def test_phase_histograms_fed(self, make_scheduler):
+        scheduler = make_scheduler()
+
+        async def body():
+            job = await scheduler.submit_evaluate(_evaluate_request("nroff"))
+            await job.wait()
+
+        _run(body())
+        histograms = scheduler.metrics.to_dict()["histograms"]
+        assert "job_seconds" in histograms
+        # Every evaluation runs the simulator under a timing phase, so
+        # the live timing feed must have landed in the histograms.
+        assert any(
+            series["labels"] == {"phase": "simulate"} and series["count"] > 0
+            for series in histograms.get("phase_seconds", [])
+        )
+
+
+class TestEvaluateJobs:
+    def test_compatible_requests_batch(self, make_scheduler):
+        scheduler = make_scheduler()
+        requests = [
+            _evaluate_request("gcc"),
+            _evaluate_request("sdet"),
+            _evaluate_request("gcc", config="high-performance"),
+        ]
+
+        async def body():
+            jobs = await asyncio.gather(
+                *(scheduler.submit_evaluate(r) for r in requests)
+            )
+            await asyncio.gather(*(job.wait() for job in jobs))
+            return jobs
+
+        jobs = _run(body())
+        assert all(job.status == "done" for job in jobs)
+        assert len({job.key for job in jobs}) == 3
+        metrics = scheduler.metrics
+        # Same batch signature → one run_cells dispatch for all three.
+        assert metrics.counter_value("eval_batches_total") == 1
+        assert metrics.counter_value(
+            "jobs_executed_total", {"kind": "evaluate"}) == 3
+        cpi = jobs[0].result["metrics"]["cpi_instr"]
+        assert cpi > 1.0
+
+    def test_batched_matches_direct_evaluate(self, make_scheduler):
+        from repro.core.config import MemorySystemConfig
+        from repro.core.study import evaluate
+
+        scheduler = make_scheduler()
+
+        async def body():
+            job = await scheduler.submit_evaluate(_evaluate_request("gcc"))
+            await job.wait()
+            return job
+
+        job = _run(body())
+        direct = evaluate(
+            "gcc", "mach3", MemorySystemConfig.economy(),
+            n_instructions=SETTINGS.n_instructions, seed=SETTINGS.seed,
+            warmup_fraction=SETTINGS.warmup_fraction,
+        )
+        assert job.result["metrics"]["cpi_instr"] == pytest.approx(
+            direct.cpi_instr
+        )
+
+    def test_identical_evaluates_coalesce(self, make_scheduler):
+        scheduler = make_scheduler()
+
+        async def body():
+            first, second = await asyncio.gather(
+                scheduler.submit_evaluate(_evaluate_request("gcc")),
+                scheduler.submit_evaluate(_evaluate_request("gcc")),
+            )
+            await first.wait()
+            return first, second
+
+        first, second = _run(body())
+        assert first is second
+        assert scheduler.metrics.counter_value(
+            "jobs_executed_total", {"kind": "evaluate"}) == 1
+
+    def test_failure_names_cell(self, make_scheduler):
+        scheduler = make_scheduler()
+        bad = EvaluateRequest(
+            workload="no-such-workload",
+            os_name="mach3",
+            config_name="economy",
+            mechanism="demand",
+            settings=SETTINGS,
+        )
+
+        async def body():
+            job = await scheduler.submit_evaluate(bad)
+            await job.wait()
+            return job
+
+        job = _run(body())
+        assert job.status == "failed"
+        # The CellExecutionError wrap names the failing cell identity.
+        assert "no-such-workload" in job.error
+        assert scheduler.metrics.counter_value(
+            "jobs_failed_total", {"kind": "evaluate"}) == 1
+        assert scheduler.queue_depth == 0
