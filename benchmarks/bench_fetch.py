@@ -1,0 +1,156 @@
+"""Reference-vs-vectorized timing of the fetch kernels (Figure 6 sweep).
+
+Runs the Figure 6 bandwidth x line-size sweep twice — once stepping the
+reference per-run engines, once through the vectorized stall-accounting
+kernels — checks the rendered tables are byte-identical, and appends one
+record to the ``BENCH_fetch.json`` trajectory at the repository root.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_fetch.py
+        [--instructions N] [--suite ibs-mach3] [--out BENCH_fetch.json]
+        [--check-against FILE] [--min-speedup-ratio 0.8]
+
+``--check-against`` compares the fresh speedup to the last record of a
+committed trajectory and exits non-zero if it regressed by more than the
+allowed ratio — that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import figure6
+from repro.experiments.common import ExperimentSettings
+from repro.workloads.registry import get_trace, suite_workloads
+
+
+def _prime_traces(suite: str, settings: ExperimentSettings) -> None:
+    """Synthesize (and registry-cache) every trace before timing.
+
+    Both engines would otherwise pay trace synthesis on first touch,
+    which has nothing to do with the fetch kernels being compared.
+    """
+    for name, os_name in suite_workloads(suite):
+        get_trace(name, os_name, settings.n_instructions, settings.seed)
+
+
+def _timed_run(suite: str, settings: ExperimentSettings):
+    start = time.perf_counter()
+    result = figure6.run(settings, suite=suite)
+    return result, time.perf_counter() - start
+
+
+def bench(
+    n_instructions: int = 200_000,
+    suite: str = "ibs-mach3",
+    seed: int = 0,
+) -> dict:
+    """One trajectory record: both engines over the same warm traces."""
+
+    def settings(engine: str) -> ExperimentSettings:
+        return ExperimentSettings(
+            n_instructions=n_instructions, seed=seed, engine=engine
+        )
+
+    _prime_traces(suite, settings("auto"))
+    reference, reference_seconds = _timed_run(suite, settings("reference"))
+    vectorized, vectorized_seconds = _timed_run(suite, settings("vectorized"))
+    identical = reference.render() == vectorized.render()
+    if not identical:
+        raise AssertionError(
+            "vectorized Figure 6 render diverged from the reference engines"
+        )
+    return {
+        "benchmark": "figure6-fetch-sweep",
+        "suite": suite,
+        "n_instructions": n_instructions,
+        "seed": seed,
+        "points": len(figure6.BANDWIDTHS) * len(figure6.LINE_SIZES),
+        "reference_seconds": round(reference_seconds, 4),
+        "vectorized_seconds": round(vectorized_seconds, 4),
+        "speedup": round(reference_seconds / vectorized_seconds, 2),
+        "renders_identical": identical,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def load_trajectory(path: pathlib.Path) -> list[dict]:
+    """The committed trajectory, or an empty one for a fresh file."""
+    if not path.exists():
+        return []
+    trajectory = json.loads(path.read_text())
+    if not isinstance(trajectory, list):
+        raise ValueError(f"{path} is not a trajectory (expected a JSON list)")
+    return trajectory
+
+
+def check_regression(
+    record: dict, baseline_path: pathlib.Path, min_ratio: float
+) -> str | None:
+    """``None`` if acceptable, else a message describing the regression.
+
+    The gate is relative — machines differ, so absolute seconds are
+    meaningless in CI, but the reference/vectorized *ratio* on the same
+    machine is stable.
+    """
+    trajectory = load_trajectory(baseline_path)
+    if not trajectory:
+        return None
+    baseline = trajectory[-1]["speedup"]
+    floor = min_ratio * baseline
+    if record["speedup"] < floor:
+        return (
+            f"vectorized speedup regressed: {record['speedup']:.1f}x vs "
+            f"baseline {baseline:.1f}x (floor {floor:.1f}x)"
+        )
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=200_000)
+    parser.add_argument("--suite", default="ibs-mach3")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_fetch.json")
+    parser.add_argument(
+        "--check-against", metavar="FILE",
+        help="committed trajectory to gate the fresh speedup against",
+    )
+    parser.add_argument(
+        "--min-speedup-ratio", type=float, default=0.8,
+        help="fail when speedup < ratio * the baseline's last record",
+    )
+    args = parser.parse_args()
+
+    record = bench(args.instructions, args.suite, args.seed)
+    print(
+        f"figure6 sweep ({record['points']} points x {args.suite} "
+        f"@ {args.instructions:,} instructions):\n"
+        f"  reference:  {record['reference_seconds']:.2f}s\n"
+        f"  vectorized: {record['vectorized_seconds']:.2f}s\n"
+        f"  speedup:    {record['speedup']:.1f}x (renders identical)"
+    )
+
+    out = pathlib.Path(args.out)
+    trajectory = load_trajectory(out)
+    trajectory.append(record)
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"appended to {out} ({len(trajectory)} record(s))")
+
+    if args.check_against:
+        message = check_regression(
+            record, pathlib.Path(args.check_against), args.min_speedup_ratio
+        )
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,44 @@ class LineOrderCache:
         self.lines = np.asarray(lines, dtype=np.uint64)
         self._orders: dict[int, np.ndarray] = {}
         self._compulsory: np.ndarray | None = None
+        self._memo: dict = {}
+
+    def memo(self, key, compute):
+        """Memoize ``compute()`` under ``key`` for this line array.
+
+        The generic extension point behind the derived-artifact caches:
+        miss masks, coarsened views, and the fetch-timing kernels'
+        mechanism state all key their per-stream results here, so one
+        stream's artifacts are computed once no matter how many sweep
+        points revisit it.
+        """
+        value = self._memo.get(key)
+        if value is None:
+            value = compute()
+            self._memo[key] = value
+        return value
+
+    def coarsened(self, shift: int) -> np.ndarray:
+        """``lines >> shift``, memoized (identity-preserving at 0).
+
+        Returning one stable array object per shift lets downstream
+        per-array caches (this registry included) recognize repeated
+        sweeps over the same coarsened stream.
+        """
+        if shift == 0:
+            return self.lines
+        return self.memo(
+            ("coarsen", shift), lambda: self.lines >> np.uint64(shift)
+        )
+
+    def miss_mask(self, n_sets: int, associativity: int) -> np.ndarray:
+        """Memoized per-reference LRU miss mask of one cache shape."""
+        return self.memo(
+            ("miss-mask", n_sets, associativity),
+            lambda: miss_mask_set_associative(
+                self.lines, n_sets, associativity
+            ),
+        )
 
     def order(self, n_sets: int) -> np.ndarray:
         """Stable argsort of the stream grouped by ``n_sets``-set index."""

@@ -30,7 +30,7 @@ import sys
 
 from repro import package_version
 from repro.core.config import MemorySystemConfig
-from repro.core.study import MECHANISMS, evaluate
+from repro.core.study import ENGINES, MECHANISMS, evaluate
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 from repro.experiments.common import ExperimentSettings
 from repro.runner.cache import CACHE_DIR_ENV, TraceDiskCache, cache_from_environment
@@ -47,7 +47,11 @@ from repro.workloads.generator import synthesize_trace
 
 
 def _settings(args) -> ExperimentSettings:
-    return ExperimentSettings(n_instructions=args.instructions, seed=args.seed)
+    return ExperimentSettings(
+        n_instructions=args.instructions,
+        seed=args.seed,
+        engine=getattr(args, "engine", "auto"),
+    )
 
 
 def _write_timing(args, report) -> None:
@@ -64,6 +68,7 @@ def _cmd_list(args) -> int:
     print("\npaper experiments:", ", ".join(ALL_EXPERIMENTS))
     print("extension studies:", ", ".join(EXTENSION_EXPERIMENTS))
     print("fetch mechanisms:", ", ".join(MECHANISMS))
+    print("fetch engines:", ", ".join(ENGINES))
     return 0
 
 
@@ -123,6 +128,7 @@ def _cmd_evaluate(args) -> int:
         mechanism=args.mechanism,
         n_instructions=args.instructions,
         seed=args.seed,
+        engine=args.engine,
     )
     print(f"{args.name}@{args.os} on {config.name} ({config.describe()})")
     print(f"  mechanism: {args.mechanism}")
@@ -244,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--instructions", type=int, default=400_000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine", choices=list(ENGINES), default="auto",
+        help="fetch-timing implementation: vectorized numpy kernels, the "
+        "reference per-run engines, or auto (kernels where they apply; "
+        "results are bit-identical either way)",
+    )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for experiment cells (0 = all cores; "

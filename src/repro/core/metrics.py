@@ -22,7 +22,7 @@ import numpy as np
 from repro._util.bitops import ilog2
 from repro.caches.base import CacheGeometry
 from repro.caches.classify import ThreeCs
-from repro.caches.vectorized import compulsory_mask, miss_mask_set_associative
+from repro.caches.vectorized import compulsory_mask, line_order_cache
 from repro.runner import timing
 from repro.trace.rle import LineRuns
 
@@ -102,8 +102,8 @@ def measure_mpi(
         )
     lines = _lines_at(runs, geometry.line_size)
     with timing.phase(timing.PHASE_SIMULATE):
-        mask = miss_mask_set_associative(
-            lines, geometry.n_sets, geometry.associativity
+        mask = line_order_cache(lines).miss_mask(
+            geometry.n_sets, geometry.associativity
         )
     cut, instructions = warmup_cut(runs, warmup_fraction)
     return MpiMeasurement(
@@ -115,14 +115,13 @@ def measure_mpi(
 def _lines_at(runs: LineRuns, line_size: int) -> np.ndarray:
     """``runs.lines`` coarsened to ``line_size`` granularity.
 
-    Returns the *same* array object when no coarsening is needed, so
-    the per-array sort memoization in :mod:`repro.caches.vectorized`
-    can recognize repeated sweeps over one stream.
+    Returns the *same* array object for each (stream, line size) pair —
+    identity-stable through the :class:`~repro.caches.vectorized.
+    LineOrderCache` memo — so the per-array sort and miss-mask
+    memoization can recognize repeated sweeps over one stream.
     """
     shift = ilog2(line_size) - ilog2(runs.line_size)
-    if shift == 0:
-        return runs.lines
-    return runs.lines >> np.uint64(shift)
+    return line_order_cache(runs.lines).coarsened(shift)
 
 
 def measure_three_cs(
@@ -147,18 +146,16 @@ def measure_three_cs(
     cut, instructions = warmup_cut(runs, warmup_fraction)
 
     with timing.phase(timing.PHASE_SIMULATE):
+        masks = line_order_cache(lines)
         compulsory = int(compulsory_mask(lines)[cut:].sum())
         reference_misses = int(
-            miss_mask_set_associative(
-                lines,
+            masks.miss_mask(
                 geometry.n_lines // reference_associativity,
                 reference_associativity,
             )[cut:].sum()
         )
         actual_misses = int(
-            miss_mask_set_associative(
-                lines, geometry.n_sets, geometry.associativity
-            )[cut:].sum()
+            masks.miss_mask(geometry.n_sets, geometry.associativity)[cut:].sum()
         )
     breakdown = ThreeCs(
         compulsory=compulsory,

@@ -19,10 +19,11 @@ from dataclasses import dataclass
 
 from repro.core.config import MemorySystemConfig
 from repro.core.metrics import DEFAULT_WARMUP_FRACTION, measure_mpi
+from repro.fetch import vectorized
 from repro.fetch.bypass import PrefetchBypassEngine
 from repro.fetch.engine import DemandFetchEngine, FetchEngine, FetchResult
 from repro.fetch.markov import MarkovPrefetchEngine
-from repro.fetch.prefetch import PrefetchOnMissEngine
+from repro.fetch.prefetch import PrefetchOnMissEngine, TaggedPrefetchEngine
 from repro.fetch.streambuf import StreamBufferEngine
 from repro.fetch.victim import VictimCacheEngine
 from repro.runner import timing
@@ -33,11 +34,20 @@ from repro.workloads.registry import DEFAULT_TRACE_INSTRUCTIONS, get_trace
 MECHANISMS = (
     "demand",
     "prefetch",
+    "tagged",
     "prefetch+bypass",
     "stream-buffer",
     "victim",
     "markov",
 )
+
+#: Fetch-timing implementations accepted by :func:`evaluate`.
+#: ``"reference"`` steps the per-run object engines, ``"vectorized"``
+#: requires the numpy kernels (raising when they don't cover the
+#: combination), and ``"auto"`` uses the kernels whenever they do — the
+#: differential tests pin the two paths bit-identical, so ``auto`` is
+#: the default everywhere.
+ENGINES = ("auto", "reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -84,6 +94,8 @@ def make_engine(
         return DemandFetchEngine(config.l1, timing, **options)
     if mechanism == "prefetch":
         return PrefetchOnMissEngine(config.l1, timing, **options)
+    if mechanism == "tagged":
+        return TaggedPrefetchEngine(config.l1, timing, **options)
     if mechanism == "prefetch+bypass":
         return PrefetchBypassEngine(config.l1, timing, **options)
     if mechanism == "stream-buffer":
@@ -97,18 +109,67 @@ def make_engine(
     )
 
 
+def fetch_result(
+    runs,
+    config: MemorySystemConfig,
+    mechanism: str = "demand",
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    engine: str = "auto",
+    **options,
+) -> FetchResult:
+    """L1 fetch simulation of one mechanism, on the selected engine.
+
+    The single dispatch point for the ``engine`` knob: ``"auto"`` takes
+    the vectorized kernels when they cover the combination and falls
+    back to the reference engines otherwise.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    interface = config.effective_l1_interface
+    use_vectorized = engine != "reference" and vectorized.supports(
+        config.l1, interface, mechanism, options
+    )
+    if engine == "vectorized" and not use_vectorized:
+        # Re-raise through run_vectorized for its precise message,
+        # after confirming the mechanism name itself is valid.
+        if mechanism not in MECHANISMS:
+            raise ValueError(
+                f"unknown mechanism {mechanism!r}; "
+                f"expected one of {MECHANISMS}"
+            )
+        return vectorized.run_vectorized(
+            runs, config.l1, interface, mechanism, warmup_fraction, **options
+        )
+    with timing.phase(timing.PHASE_SIMULATE):
+        if use_vectorized:
+            return vectorized.run_vectorized(
+                runs,
+                config.l1,
+                interface,
+                mechanism,
+                warmup_fraction,
+                **options,
+            )
+        return make_engine(config, mechanism, **options).run(
+            runs, warmup_fraction
+        )
+
+
 def evaluate_trace(
     trace: Trace,
     config: MemorySystemConfig,
     mechanism: str = "demand",
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    engine: str = "auto",
     **options,
 ) -> StudyResult:
     """Evaluate a configuration against an already-synthesized trace."""
     l1_runs = trace.ifetch_line_runs(config.l1.line_size)
-    engine = make_engine(config, mechanism, **options)
-    with timing.phase(timing.PHASE_SIMULATE):
-        l1_result = engine.run(l1_runs, warmup_fraction)
+    l1_result = fetch_result(
+        l1_runs, config, mechanism, warmup_fraction, engine, **options
+    )
 
     cpi_l2 = 0.0
     l2_mpi = 0.0
@@ -138,8 +199,9 @@ def evaluate(
     mechanism: str = "demand",
     n_instructions: int = DEFAULT_TRACE_INSTRUCTIONS,
     seed: int = 0,
+    engine: str = "auto",
     **options,
 ) -> StudyResult:
     """Synthesize (or reuse) the workload's trace and evaluate it."""
     trace = get_trace(workload, os_name, n_instructions, seed)
-    return evaluate_trace(trace, config, mechanism, **options)
+    return evaluate_trace(trace, config, mechanism, engine=engine, **options)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.config import MemorySystemConfig
 from repro.core.metrics import DEFAULT_WARMUP_FRACTION
-from repro.core.study import StudyResult, evaluate_trace
+from repro.core.study import ENGINES, StudyResult, evaluate_trace
 from repro.runner.pool import ExperimentCell, has_cells
 from repro.trace.rle import LineRuns
 from repro.trace.trace import Trace
@@ -34,13 +34,16 @@ __all__ = [
     "DEFAULT_SETTINGS",
     "ExperimentCell",
     "ExperimentSettings",
+    "FetchPoint",
     "canonical_job_key",
+    "fetch_point",
     "has_cells",
     "settings_record",
     "suite_cpi_instr",
     "suite_evaluate",
     "suite_runs",
     "suite_traces",
+    "sweep_fetch_cpi",
     "workloads_fingerprint",
 ]
 
@@ -53,11 +56,23 @@ class ExperimentSettings:
         n_instructions: trace length per workload.
         seed: synthesis seed (experiments are deterministic given it).
         warmup_fraction: measurement warmup window.
+        engine: fetch-timing implementation (see
+            :data:`repro.core.study.ENGINES`): ``"auto"`` takes the
+            vectorized kernels where they apply, ``"reference"`` always
+            steps the object engines, ``"vectorized"`` requires the
+            kernels.
     """
 
     n_instructions: int = DEFAULT_TRACE_INSTRUCTIONS
     seed: int = 0
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+    engine: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
     def scaled(self, factor: float) -> "ExperimentSettings":
         """A copy with the trace length scaled (tests use ~0.2)."""
@@ -65,6 +80,7 @@ class ExperimentSettings:
             n_instructions=max(10_000, int(self.n_instructions * factor)),
             seed=self.seed,
             warmup_fraction=self.warmup_fraction,
+            engine=self.engine,
         )
 
 
@@ -72,7 +88,13 @@ DEFAULT_SETTINGS = ExperimentSettings()
 
 
 def settings_record(settings: ExperimentSettings) -> dict:
-    """The JSON-stable record of one settings object (for cache keys)."""
+    """The JSON-stable record of one settings object (for cache keys).
+
+    ``engine`` is deliberately absent: the differential tests pin the
+    vectorized and reference paths bit-identical, so results computed
+    under either engine are interchangeable and share cache/coalescing
+    keys.
+    """
     return {
         "n_instructions": settings.n_instructions,
         "seed": settings.seed,
@@ -175,6 +197,7 @@ def suite_evaluate(
             config,
             mechanism,
             warmup_fraction=settings.warmup_fraction,
+            engine=settings.engine,
             **options,
         )
         for trace in suite_traces(suite, settings)
@@ -194,3 +217,76 @@ def suite_cpi_instr(
         float(np.mean([r.cpi_l1 for r in results])),
         float(np.mean([r.cpi_l2 for r in results])),
     )
+
+
+@dataclass(frozen=True)
+class FetchPoint:
+    """One design point of a fetch-timing sweep.
+
+    Attributes:
+        key: the caller's identity for the point (dict key of the
+            sweep's result).
+        config: memory-system configuration to evaluate.
+        mechanism: L1 refill mechanism name.
+        options: mechanism options as sorted ``(name, value)`` pairs
+            (hashable and picklable; build points with
+            :func:`fetch_point`).
+    """
+
+    key: tuple
+    config: MemorySystemConfig
+    mechanism: str = "demand"
+    options: tuple = ()
+
+
+def fetch_point(
+    key, config: MemorySystemConfig, mechanism: str = "demand", **options
+) -> FetchPoint:
+    """Build a :class:`FetchPoint` from keyword mechanism options."""
+    return FetchPoint(
+        key=tuple(key) if isinstance(key, (tuple, list)) else (key,),
+        config=config,
+        mechanism=mechanism,
+        options=tuple(sorted(options.items())),
+    )
+
+
+def sweep_fetch_cpi(
+    suite: str,
+    points: list[FetchPoint],
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> dict[tuple, tuple[float, float]]:
+    """Suite-mean (L1, L2) CPIinstr for many design points, trace-major.
+
+    The Figure 5-7 / Table 6 sweep planner: workloads iterate on the
+    *outside* and design points on the inside, so each workload's RLE
+    streams, miss masks, and mechanism state (all memoized per stream
+    through :class:`~repro.caches.vectorized.LineOrderCache`) are
+    computed once per (workload, line size) and shared across every
+    L2-latency/width/mechanism point, instead of being rebuilt per
+    point.  Per-point arithmetic and averaging order are exactly
+    :func:`suite_cpi_instr`'s, so results are bit-identical to running
+    the points one at a time.
+    """
+    per_point: dict[tuple, tuple[list, list]] = {}
+    for point in points:
+        if point.key in per_point:
+            raise ValueError(f"duplicate sweep point key {point.key!r}")
+        per_point[point.key] = ([], [])
+    for trace in suite_traces(suite, settings):
+        for point in points:
+            result = evaluate_trace(
+                trace,
+                point.config,
+                point.mechanism,
+                warmup_fraction=settings.warmup_fraction,
+                engine=settings.engine,
+                **dict(point.options),
+            )
+            l1_values, l2_values = per_point[point.key]
+            l1_values.append(result.cpi_l1)
+            l2_values.append(result.cpi_l2)
+    return {
+        key: (float(np.mean(l1_values)), float(np.mean(l2_values)))
+        for key, (l1_values, l2_values) in per_point.items()
+    }

@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 
 from repro._util.fmt import format_table
 from repro.caches.base import CacheGeometry
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentCell,
+    ExperimentSettings,
+)
 from repro.tapeworm.trapdriven import TapewormSimulator, VariabilityResult
 from repro.trace.rle import to_line_runs
 from repro.workloads.registry import get_trace
@@ -73,6 +77,64 @@ class Figure5Result:
         )
 
 
+def _sweep_workload(
+    name: str,
+    os_name: str,
+    cache_sizes: tuple[int, ...],
+    associativities: tuple[int, ...],
+    n_trials: int,
+    settings: ExperimentSettings,
+) -> dict[tuple[str, int, int], VariabilityResult]:
+    """One cell: the full geometry grid for one workload.
+
+    The whole grid goes through :meth:`TapewormSimulator.run_grid`, so
+    each trial's random page mapping is applied once and the translated
+    streams' miss masks are shared across every (size, ways) point.
+    """
+    simulator = TapewormSimulator(warmup_fraction=settings.warmup_fraction)
+    trace = get_trace(name, os_name, settings.n_instructions, settings.seed)
+    runs = to_line_runs(trace.ifetch_addresses(), LINE_SIZE)
+    grid = [
+        (size, ways)
+        for size in cache_sizes
+        for ways in associativities
+    ]
+    results = simulator.run_grid(
+        runs,
+        [CacheGeometry(size, LINE_SIZE, ways) for size, ways in grid],
+        n_trials=n_trials,
+        base_seed=settings.seed,
+    )
+    return {
+        (name, size, ways): result
+        for (size, ways), result in zip(grid, results)
+    }
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per workload (each covering the whole geometry grid)."""
+    return [
+        ExperimentCell(
+            key=("figure5", name, os_name),
+            fn=_sweep_workload,
+            args=(name, os_name, CACHE_SIZES, ASSOCIATIVITIES, N_TRIALS,
+                  settings),
+        )
+        for name, os_name in WORKLOADS
+    ]
+
+
+def merge(
+    settings: ExperimentSettings,
+    results: list[dict[tuple[str, int, int], VariabilityResult]],
+) -> Figure5Result:
+    """Reassemble the study from the per-workload cells."""
+    merged: dict[tuple[str, int, int], VariabilityResult] = {}
+    for cell_result in results:
+        merged.update(cell_result)
+    return Figure5Result(cells=merged)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     cache_sizes: tuple[int, ...] = CACHE_SIZES,
@@ -81,15 +143,12 @@ def run(
     n_trials: int = N_TRIALS,
 ) -> Figure5Result:
     """Reproduce Figure 5's trap-driven variability study."""
-    simulator = TapewormSimulator(warmup_fraction=settings.warmup_fraction)
-    cells: dict[tuple[str, int, int], VariabilityResult] = {}
+    cells_out: dict[tuple[str, int, int], VariabilityResult] = {}
     for name, os_name in workloads:
-        trace = get_trace(name, os_name, settings.n_instructions, settings.seed)
-        runs = to_line_runs(trace.ifetch_addresses(), LINE_SIZE)
-        for size in cache_sizes:
-            for ways in associativities:
-                geometry = CacheGeometry(size, LINE_SIZE, ways)
-                cells[(name, size, ways)] = simulator.run_trials(
-                    runs, geometry, n_trials=n_trials, base_seed=settings.seed
-                )
-    return Figure5Result(cells=cells)
+        cells_out.update(
+            _sweep_workload(
+                name, os_name, cache_sizes, associativities, n_trials,
+                settings,
+            )
+        )
+    return Figure5Result(cells=cells_out)

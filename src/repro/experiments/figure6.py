@@ -19,8 +19,10 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
-    suite_cpi_instr,
+    fetch_point,
+    sweep_fetch_cpi,
 )
 from repro.fetch.timing import MemoryTiming
 
@@ -78,6 +80,62 @@ class Figure6Result:
         return min(candidates, key=candidates.get)
 
 
+def _line_size_points(line_size: int, bandwidths: tuple[int, ...]):
+    """All bandwidth points of one line-size column.
+
+    Grouping by line size means every point of a group drives the same
+    (workload, line size) RLE stream, so the planner computes each L1
+    miss mask once and shares it across the whole bandwidth sweep.
+    """
+    return [
+        fetch_point(
+            (bw, line_size),
+            MemorySystemConfig(
+                name=f"bw{bw}-line{line_size}",
+                l1=CacheGeometry(L1_SIZE, line_size, 1),
+                memory=MemoryTiming(latency=LATENCY, bytes_per_cycle=bw),
+            ),
+            "demand",
+        )
+        for bw in bandwidths
+    ]
+
+
+def _sweep_line_size(
+    line_size: int,
+    bandwidths: tuple[int, ...],
+    suite: str,
+    settings: ExperimentSettings,
+) -> dict[tuple[int, int], float]:
+    """One cell: the full bandwidth sweep at one L1 line size."""
+    swept = sweep_fetch_cpi(
+        suite, _line_size_points(line_size, bandwidths), settings
+    )
+    return {key: l1 for key, (l1, _l2) in swept.items()}
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per line size (each sharing one miss mask per workload)."""
+    return [
+        ExperimentCell(
+            key=("figure6", line_size),
+            fn=_sweep_line_size,
+            args=(line_size, BANDWIDTHS, "ibs-mach3", settings),
+        )
+        for line_size in LINE_SIZES
+    ]
+
+
+def merge(
+    settings: ExperimentSettings, results: list[dict[tuple[int, int], float]]
+) -> Figure6Result:
+    """Reassemble the sweep table from the per-line-size cells."""
+    merged: dict[tuple[int, int], float] = {}
+    for cell_result in results:
+        merged.update(cell_result)
+    return Figure6Result(cells=merged)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     bandwidths: tuple[int, ...] = BANDWIDTHS,
@@ -85,15 +143,9 @@ def run(
     suite: str = "ibs-mach3",
 ) -> Figure6Result:
     """Reproduce Figure 6's bandwidth x line-size sweep."""
-    cells: dict[tuple[int, int], float] = {}
-    for bw in bandwidths:
-        timing = MemoryTiming(latency=LATENCY, bytes_per_cycle=bw)
-        for line_size in line_sizes:
-            config = MemorySystemConfig(
-                name=f"bw{bw}-line{line_size}",
-                l1=CacheGeometry(L1_SIZE, line_size, 1),
-                memory=timing,
-            )
-            l1, _ = suite_cpi_instr(suite, config, "demand", settings)
-            cells[(bw, line_size)] = l1
-    return Figure6Result(cells=cells)
+    cells_out: dict[tuple[int, int], float] = {}
+    for line_size in line_sizes:
+        cells_out.update(
+            _sweep_line_size(line_size, bandwidths, suite, settings)
+        )
+    return Figure6Result(cells=cells_out)

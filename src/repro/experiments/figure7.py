@@ -21,8 +21,11 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
-    suite_cpi_instr,
+    FetchPoint,
+    fetch_point,
+    sweep_fetch_cpi,
 )
 from repro.fetch.timing import MemoryTiming
 
@@ -76,55 +79,82 @@ class Figure7Result:
         return l1 + l2
 
 
+def _base_config(config_name: str) -> MemorySystemConfig:
+    if config_name == "economy":
+        return MemorySystemConfig.economy()
+    return MemorySystemConfig.high_performance()
+
+
+def _step_points(config_name: str) -> list[FetchPoint]:
+    """The six cumulative-optimization points of one configuration.
+
+    Every step drives the same 8 KB / 32 B L1 stream, so when the whole
+    ladder goes through the planner the per-workload miss masks are
+    computed once and shared across all six steps.
+    """
+    base = _base_config(config_name)
+    # Step 2: add the 8-way on-chip L2 (16 B/cyc interface).
+    with_l2 = base.with_l2(L2_GEOMETRY)
+    # Step 3: double the L1-L2 bandwidth to 32 B/cyc.
+    fast = with_l2.with_l1_interface(MemoryTiming(latency=6, bytes_per_cycle=32))
+    # Step 6: pipelined interface with a 6-line stream buffer
+    # (line size = transfer size).
+    pipelined = MemorySystemConfig(
+        name=f"{config_name}-pipelined",
+        l1=CacheGeometry(8192, 32, 1),
+        memory=base.memory,
+        l2=L2_GEOMETRY,
+        l1_interface=MemoryTiming(latency=6, bytes_per_cycle=32),
+    )
+    return [
+        fetch_point((config_name, "baseline"), base, "demand"),
+        fetch_point((config_name, "on-chip L2"), with_l2, "demand"),
+        fetch_point((config_name, "bandwidth"), fast, "demand"),
+        fetch_point((config_name, "prefetching"), fast, "prefetch",
+                    n_prefetch=1),
+        fetch_point((config_name, "bypassing"), fast, "prefetch+bypass",
+                    n_prefetch=1),
+        fetch_point((config_name, "pipelining"), pipelined, "stream-buffer",
+                    n_lines=6),
+    ]
+
+
+def _sweep_config(
+    config_name: str, suite: str, settings: ExperimentSettings
+) -> dict[tuple[str, str], tuple[float, float]]:
+    """One cell: the full optimization ladder of one configuration."""
+    return sweep_fetch_cpi(suite, _step_points(config_name), settings)
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per baseline configuration (six steps each)."""
+    return [
+        ExperimentCell(
+            key=("figure7", config_name),
+            fn=_sweep_config,
+            args=(config_name, "ibs-mach3", settings),
+        )
+        for config_name in CONFIG_NAMES
+    ]
+
+
+def merge(
+    settings: ExperimentSettings,
+    results: list[dict[tuple[str, str], tuple[float, float]]],
+) -> Figure7Result:
+    """Reassemble the ladder from the per-configuration cells."""
+    merged: dict[tuple[str, str], tuple[float, float]] = {}
+    for cell_result in results:
+        merged.update(cell_result)
+    return Figure7Result(cells=merged)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     suite: str = "ibs-mach3",
 ) -> Figure7Result:
     """Reproduce Figure 7's cumulative-optimization ladder."""
-    bases = {
-        "economy": MemorySystemConfig.economy(),
-        "high-performance": MemorySystemConfig.high_performance(),
-    }
-    cells: dict[tuple[str, str], tuple[float, float]] = {}
-    for config_name, base in bases.items():
-        # Step 1: baseline — L1 straight to memory.
-        cells[(config_name, "baseline")] = suite_cpi_instr(
-            suite, base, "demand", settings
-        )
-
-        # Step 2: add the 8-way on-chip L2 (16 B/cyc interface).
-        with_l2 = base.with_l2(L2_GEOMETRY)
-        cells[(config_name, "on-chip L2")] = suite_cpi_instr(
-            suite, with_l2, "demand", settings
-        )
-
-        # Step 3: double the L1-L2 bandwidth to 32 B/cyc.
-        fast_iface = MemoryTiming(latency=6, bytes_per_cycle=32)
-        fast = with_l2.with_l1_interface(fast_iface)
-        cells[(config_name, "bandwidth")] = suite_cpi_instr(
-            suite, fast, "demand", settings
-        )
-
-        # Step 4: sequential prefetch-on-miss (1 line).
-        cells[(config_name, "prefetching")] = suite_cpi_instr(
-            suite, fast, "prefetch", settings, n_prefetch=1
-        )
-
-        # Step 5: add bypass buffers.
-        cells[(config_name, "bypassing")] = suite_cpi_instr(
-            suite, fast, "prefetch+bypass", settings, n_prefetch=1
-        )
-
-        # Step 6: pipelined interface with a 6-line stream buffer
-        # (line size = transfer size).
-        pipelined = MemorySystemConfig(
-            name=f"{config_name}-pipelined",
-            l1=CacheGeometry(8192, 32, 1),
-            memory=base.memory,
-            l2=L2_GEOMETRY,
-            l1_interface=MemoryTiming(latency=6, bytes_per_cycle=32),
-        )
-        cells[(config_name, "pipelining")] = suite_cpi_instr(
-            suite, pipelined, "stream-buffer", settings, n_lines=6
-        )
-    return Figure7Result(cells=cells)
+    cells_out: dict[tuple[str, str], tuple[float, float]] = {}
+    for config_name in CONFIG_NAMES:
+        cells_out.update(_sweep_config(config_name, suite, settings))
+    return Figure7Result(cells=cells_out)

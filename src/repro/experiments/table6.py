@@ -17,8 +17,10 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
-    suite_cpi_instr,
+    fetch_point,
+    sweep_fetch_cpi,
 )
 from repro.fetch.timing import MemoryTiming
 
@@ -65,21 +67,60 @@ class Table6Result:
         )
 
 
+def _sweep_line_size(
+    line_size: int,
+    depths: tuple[int, ...],
+    suite: str,
+    settings: ExperimentSettings,
+) -> dict[tuple[int, int], float]:
+    """One cell: every prefetch depth at one line size.
+
+    All depths share the (workload, line size) stream, so the planner
+    reuses one set of memoized install-aware miss masks per workload.
+    """
+    config = MemorySystemConfig(
+        name=f"l1-{line_size}B",
+        l1=CacheGeometry(8192, line_size, 1),
+        memory=INTERFACE,
+    )
+    points = [
+        fetch_point((line_size, depth), config, "prefetch", n_prefetch=depth)
+        for depth in depths
+    ]
+    swept = sweep_fetch_cpi(suite, points, settings)
+    return {key: l1 for key, (l1, _l2) in swept.items()}
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per L1 line size."""
+    return [
+        ExperimentCell(
+            key=("table6", line_size),
+            fn=_sweep_line_size,
+            args=(line_size, PREFETCH_DEPTHS, "ibs-mach3", settings),
+        )
+        for line_size in LINE_SIZES
+    ]
+
+
+def merge(
+    settings: ExperimentSettings, results: list[dict[tuple[int, int], float]]
+) -> Table6Result:
+    """Reassemble the table from the per-line-size cells."""
+    merged: dict[tuple[int, int], float] = {}
+    for cell_result in results:
+        merged.update(cell_result)
+    return Table6Result(cells=merged, suite="ibs-mach3")
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     suite: str = "ibs-mach3",
 ) -> Table6Result:
     """Reproduce Table 6 over the IBS suite."""
-    cells: dict[tuple[int, int], float] = {}
+    cells_out: dict[tuple[int, int], float] = {}
     for line_size in LINE_SIZES:
-        config = MemorySystemConfig(
-            name=f"l1-{line_size}B",
-            l1=CacheGeometry(8192, line_size, 1),
-            memory=INTERFACE,
+        cells_out.update(
+            _sweep_line_size(line_size, PREFETCH_DEPTHS, suite, settings)
         )
-        for depth in PREFETCH_DEPTHS:
-            l1, _ = suite_cpi_instr(
-                suite, config, "prefetch", settings, n_prefetch=depth
-            )
-            cells[(line_size, depth)] = l1
-    return Table6Result(cells=cells, suite=suite)
+    return Table6Result(cells=cells_out, suite=suite)

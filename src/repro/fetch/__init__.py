@@ -17,6 +17,7 @@ from repro.fetch.victim import VictimCacheEngine
 from repro.fetch.markov import MarkovPrefetchEngine
 from repro.fetch.twolevel import TwoLevelDemandEngine, TwoLevelResult
 from repro.fetch.branch import BranchTargetBuffer, BranchResult
+from repro.fetch.vectorized import VECTORIZED_MECHANISMS, run_vectorized, supports
 
 __all__ = [
     "MemoryTiming",
@@ -35,4 +36,7 @@ __all__ = [
     "TwoLevelResult",
     "BranchTargetBuffer",
     "BranchResult",
+    "VECTORIZED_MECHANISMS",
+    "run_vectorized",
+    "supports",
 ]

@@ -77,15 +77,18 @@ class StreamBufferEngine(FetchEngine):
                 self._issue_prefetch(now)
             return stall, False
 
-        # Miss in both: cancel not-yet-arrived prefetches, restart the
-        # stream at the line after the miss.
-        self._buffer = {
-            buffered: t for buffered, t in self._buffer.items() if t <= now
-        }
+        # Miss in both: cancel the outstanding prefetches and restart
+        # the stream at the line after the miss.  The restart issues
+        # exactly n_lines distinct requests — the buffer's capacity —
+        # so they *are* the new buffer contents; anything older would
+        # be evicted before the restart completes.
+        buffer = self._buffer
+        buffer.clear()
         stall = self.timing.latency
+        first_arrival = now + 1 + self.timing.latency
         for i in range(self.n_lines):
             # Request i issues i+1 cycles after the miss request.
-            self._insert(line + 1 + i, now + 1 + i + self.timing.latency)
+            buffer[line + 1 + i] = first_arrival + i
         self._next_prefetch_line = line + 1 + self.n_lines
         self._last_issue_cycle = now + self.n_lines
         return stall, True

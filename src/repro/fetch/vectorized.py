@@ -1,0 +1,531 @@
+"""Vectorized stall-cycle accounting for the fetch mechanisms.
+
+The reference engines in this subpackage walk the run-length-encoded
+instruction stream one run at a time in interpreted Python.  That is
+the right shape for a ground-truth model, but the paper's payoff sweeps
+(Figures 5-7, Tables 6-8) evaluate the *same* stream against dozens of
+L2-latency/bandwidth/mechanism points, and the per-run loop made them
+orders of magnitude slower than the numpy miss-ratio sweeps.
+
+This module computes :class:`~repro.fetch.engine.FetchResult` from
+per-reference miss masks (memoized per stream through
+:class:`~repro.caches.vectorized.LineOrderCache`) plus inter-miss gap
+arithmetic, without stepping a Python object per line run:
+
+* **demand** / **prefetch** — the stall per counted miss is a constant
+  (``fill_penalty``), so the result is closed-form in the miss mask.
+* **tagged** — the cache/tag-bit state machine is timing-independent,
+  so one replay captures the sparse event structure (misses and
+  first-uses of prefetched lines) and each timing point replays only
+  the events.
+* **prefetch+bypass** / **stream-buffer** — stalls depend on inter-miss
+  gaps, so the kernels walk *miss events* (plus the few runs inside a
+  refill burst window) instead of every run.
+
+Every kernel is bit-identical to its reference engine — the same
+``(instructions, stall_cycles, misses)`` on any stream — which the
+differential tests in ``tests/test_fetch_vectorized.py`` pin across a
+grid of timings and geometries.  Mechanisms or shapes the kernels do
+not cover (victim, markov, associative bypass caches) report
+``supports() == False`` and the ``engine="auto"`` path falls back to
+the reference engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caches.base import CacheGeometry
+from repro.caches.vectorized import LineOrderCache, line_order_cache
+from repro.core.metrics import DEFAULT_WARMUP_FRACTION, warmup_cut
+from repro.fetch.engine import FetchResult
+from repro.fetch.timing import MemoryTiming
+from repro.trace.rle import LineRuns
+
+__all__ = ["VECTORIZED_MECHANISMS", "supports", "run_vectorized"]
+
+#: Mechanisms the kernels reproduce bit-identically (geometry permitting).
+VECTORIZED_MECHANISMS = (
+    "demand",
+    "prefetch",
+    "tagged",
+    "prefetch+bypass",
+    "stream-buffer",
+)
+
+#: Options each mechanism's kernel understands; anything else means the
+#: caller wants a knob only the reference engine implements.
+_MECHANISM_OPTIONS = {
+    "demand": frozenset(),
+    "prefetch": frozenset({"n_prefetch"}),
+    "tagged": frozenset(),
+    "prefetch+bypass": frozenset({"n_prefetch"}),
+    "stream-buffer": frozenset({"n_lines", "refill_on_use", "move_penalty"}),
+}
+
+#: Mirror of :class:`TaggedPrefetchEngine`'s in-flight bookkeeping bound.
+_TAGGED_BOOKKEEPING = 64
+
+
+def supports(
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    mechanism: str,
+    options: dict | None = None,
+) -> bool:
+    """Whether the vectorized kernels cover this exact simulation.
+
+    ``False`` is a *routing* answer, not an error: ``engine="auto"``
+    falls back to the reference engines for anything not covered.
+    """
+    allowed = _MECHANISM_OPTIONS.get(mechanism)
+    if allowed is None:
+        return False
+    options = options or {}
+    if not set(options) <= allowed:
+        return False
+    if mechanism == "prefetch+bypass":
+        # Buffer hits bypass the cache's LRU update, so for associative
+        # caches the replacement state depends on the timing point; and
+        # a burst whose prefetches wrap around the index must not evict
+        # its own miss line.  Both cases go to the reference engine.
+        n_prefetch = options.get("n_prefetch", 0)
+        return (
+            geometry.associativity == 1
+            and isinstance(n_prefetch, int)
+            and geometry.n_sets > n_prefetch
+        )
+    if mechanism == "stream-buffer":
+        return geometry.line_size == timing.bytes_per_cycle
+    return True
+
+
+def run_vectorized(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    mechanism: str = "demand",
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    **options,
+) -> FetchResult:
+    """Compute one mechanism's :class:`FetchResult` without an engine.
+
+    Raises :class:`ValueError` when ``supports()`` is false for the
+    combination — callers wanting automatic fallback should check
+    ``supports`` first (that is what ``engine="auto"`` does).
+    """
+    if runs.line_size != geometry.line_size:
+        raise ValueError(
+            f"stream encoded at {runs.line_size} B lines cannot drive "
+            f"an engine with {geometry.line_size} B lines; "
+            "re-encode with to_line_runs()"
+        )
+    if not supports(geometry, timing, mechanism, options):
+        raise ValueError(
+            f"mechanism {mechanism!r} with options {sorted(options)} on "
+            f"{geometry.describe()} is not covered by the vectorized "
+            "kernels; use engine='reference'"
+        )
+    cut, instructions = warmup_cut(runs, warmup_fraction)
+    if mechanism == "demand":
+        mask = _demand_mask(runs, geometry)
+        penalty = timing.fill_penalty(geometry.line_size)
+        return _counting_result(mask, penalty, cut, instructions)
+    if mechanism == "prefetch":
+        n_prefetch = _check_depth(options.get("n_prefetch", 1))
+        mask = _prefetch_mask(runs, geometry, n_prefetch)
+        penalty = timing.fill_penalty(geometry.line_size * (n_prefetch + 1))
+        return _counting_result(mask, penalty, cut, instructions)
+    if mechanism == "tagged":
+        return _tagged_result(runs, geometry, timing, cut, instructions)
+    if mechanism == "prefetch+bypass":
+        n_prefetch = _check_depth(options.get("n_prefetch", 0))
+        return _bypass_result(
+            runs, geometry, timing, n_prefetch, cut, instructions
+        )
+    # supports() admitted it, so this is the stream buffer.
+    n_lines = options.get("n_lines", 6)
+    if n_lines < 0:
+        raise ValueError(f"n_lines must be >= 0, got {n_lines}")
+    move_penalty = options.get("move_penalty", 0)
+    if move_penalty < 0:
+        raise ValueError(f"move_penalty must be >= 0, got {move_penalty}")
+    return _stream_buffer_result(
+        runs,
+        geometry,
+        timing,
+        n_lines,
+        bool(options.get("refill_on_use", False)),
+        move_penalty,
+        cut,
+        instructions,
+    )
+
+
+def _check_depth(n_prefetch: int) -> int:
+    if n_prefetch < 0:
+        raise ValueError(f"n_prefetch must be >= 0, got {n_prefetch}")
+    return n_prefetch
+
+
+def _counting_result(
+    mask: np.ndarray, penalty: int, cut: int, instructions: int
+) -> FetchResult:
+    """Constant-stall mechanisms are closed-form in the miss mask."""
+    misses = int(mask[cut:].sum())
+    return FetchResult(
+        instructions=instructions,
+        stall_cycles=misses * penalty,
+        misses=misses,
+    )
+
+
+# -- miss masks (memoized per stream) ----------------------------------
+
+
+def _mask_shape(geometry: CacheGeometry) -> tuple[int, int]:
+    """(n_sets, associativity) in miss_mask_set_associative's convention
+    (fully associative caches pass capacity with associativity 0)."""
+    if geometry.associativity == 0:
+        return geometry.n_lines, 0
+    return geometry.n_sets, geometry.associativity
+
+
+def _demand_mask(runs: LineRuns, geometry: CacheGeometry) -> np.ndarray:
+    n_sets, associativity = _mask_shape(geometry)
+    return line_order_cache(runs.lines).miss_mask(n_sets, associativity)
+
+
+def _miss_positions(cache: LineOrderCache, mask_key, mask) -> np.ndarray:
+    return cache.memo(("nz",) + mask_key, lambda: np.flatnonzero(mask))
+
+
+def _prefetch_mask(
+    runs: LineRuns, geometry: CacheGeometry, n_prefetch: int
+) -> np.ndarray:
+    """Miss mask of an LRU cache with N-line sequential install-on-miss.
+
+    Computed once per (stream, shape, depth) — installs feed back into
+    the miss sequence, so unlike the demand mask this needs one exact
+    replay; every timing point then reuses it.
+    """
+    cache = line_order_cache(runs.lines)
+    n_sets, ways = geometry.n_sets, geometry.ways
+    return cache.memo(
+        ("prefetch-mask", n_sets, ways, n_prefetch),
+        lambda: _prefetch_mask_compute(cache.lines, n_sets, ways, n_prefetch),
+    )
+
+
+def _prefetch_mask_compute(
+    lines: np.ndarray, n_sets: int, ways: int, n_prefetch: int
+) -> np.ndarray:
+    miss = np.ones(len(lines), dtype=bool)
+    set_mask = n_sets - 1
+    sets_state: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+    for i, line in enumerate(lines.tolist()):
+        cache_set = sets_state[line & set_mask]
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = None  # LRU refresh
+            miss[i] = False
+            continue
+        if len(cache_set) >= ways:
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = None
+        for distance in range(1, n_prefetch + 1):
+            prefetched = line + distance
+            target = sets_state[prefetched & set_mask]
+            if prefetched not in target:  # install_line: no LRU touch
+                if len(target) >= ways:
+                    del target[next(iter(target))]
+                target[prefetched] = None
+    miss.setflags(write=False)
+    return miss
+
+
+def _run_starts(runs: LineRuns) -> np.ndarray:
+    """Instruction count preceding each run (time base with no stalls)."""
+    starts = np.cumsum(runs.counts)
+    starts -= runs.counts
+    return starts
+
+
+# -- tagged prefetch ---------------------------------------------------
+
+
+def _tagged_state(runs: LineRuns, geometry: CacheGeometry):
+    cache = line_order_cache(runs.lines)
+    n_sets, ways = geometry.n_sets, geometry.ways
+    return cache.memo(
+        ("tagged-state", n_sets, ways),
+        lambda: _tagged_state_compute(cache.lines, n_sets, ways),
+    )
+
+
+def _tagged_state_compute(lines: np.ndarray, n_sets: int, ways: int):
+    """Timing-independent replay of the tagged-prefetch state machine.
+
+    Nothing in :class:`TaggedPrefetchEngine`'s cache or tag-bit updates
+    reads the clock — arrival times only ever become stall cycles — so
+    one replay yields the sparse event list (demand misses and
+    first-uses of prefetched lines) that every timing point shares.
+    For each event: its run index, whether it was a demand miss, which
+    earlier event issued the prefetch it consumed (first-use only), and
+    whether it chained a new prefetch.
+    """
+    set_mask = n_sets - 1
+    sets_state: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+    untagged: dict[int, int] = {}  # prefetched line -> issuing event
+
+    event_run: list[int] = []
+    event_is_miss: list[bool] = []
+    event_source: list[int] = []
+    event_issued: list[bool] = []
+
+    def issue(line: int, event: int) -> bool:
+        cache_set = sets_state[line & set_mask]
+        if line in cache_set or line in untagged:
+            return False
+        if len(cache_set) >= ways:  # install_line: no LRU touch
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = None
+        untagged[line] = event
+        if len(untagged) > _TAGGED_BOOKKEEPING:
+            del untagged[next(iter(untagged))]
+        return True
+
+    for i, line in enumerate(lines.tolist()):
+        source = untagged.pop(line, None)
+        if source is not None:
+            event = len(event_run)
+            event_run.append(i)
+            event_is_miss.append(False)
+            event_source.append(source)
+            event_issued.append(issue(line + 1, event))
+            continue
+        cache_set = sets_state[line & set_mask]
+        if line in cache_set:
+            # contains_line: a pure hit never touches LRU state.
+            continue
+        if len(cache_set) >= ways:
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = None
+        event = len(event_run)
+        event_run.append(i)
+        event_is_miss.append(True)
+        event_source.append(-1)
+        event_issued.append(issue(line + 1, event))
+    return (
+        np.asarray(event_run, dtype=np.int64),
+        event_is_miss,
+        event_source,
+        event_issued,
+    )
+
+
+def _tagged_result(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    event_run, is_miss, source, issued = _tagged_state(runs, geometry)
+    penalty = timing.fill_penalty(geometry.line_size)
+    base = (_run_starts(runs)[event_run]).tolist()
+    run_index = event_run.tolist()
+    arrivals = [0] * len(run_index)
+    extra = 0
+    stalls = 0
+    misses = 0
+    for event, now0 in enumerate(base):
+        now = now0 + extra
+        if is_miss[event]:
+            stall = penalty
+            if issued[event]:
+                arrivals[event] = now + 2 * penalty
+        else:
+            arrival = arrivals[source[event]]
+            stall = arrival - now if arrival > now else 0
+            if issued[event]:
+                start = now if now > arrival else arrival
+                arrivals[event] = start + penalty
+        if run_index[event] >= cut:
+            stalls += stall
+            if is_miss[event]:
+                misses += 1
+        extra += stall
+    return FetchResult(
+        instructions=instructions, stall_cycles=stalls, misses=misses
+    )
+
+
+# -- prefetch with bypass buffers --------------------------------------
+
+
+def _bypass_result(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    n_prefetch: int,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    """Sparse replay of the bypass engine over miss events.
+
+    Cache contents match sequential prefetch-on-miss exactly (the
+    direct-mapped restriction in :func:`supports` guarantees it), so
+    the memoized prefetch mask gives the miss sequence and this kernel
+    only walks the few runs inside each refill burst window.
+    """
+    cache = line_order_cache(runs.lines)
+    mask = _prefetch_mask(runs, geometry, n_prefetch)
+    positions = _miss_positions(
+        cache, ("prefetch-mask", geometry.n_sets, geometry.ways, n_prefetch),
+        mask,
+    )
+    misses = int(mask[cut:].sum())
+    if len(positions) == 0:
+        return FetchResult(instructions, 0, 0)
+
+    starts = _run_starts(runs)
+    lines = runs.lines
+    offsets = runs.first_offsets
+    latency = timing.latency
+    bandwidth = timing.bytes_per_cycle
+    line_size = geometry.line_size
+    burst = timing.fill_penalty(line_size * (n_prefetch + 1))
+    fills = [
+        timing.fill_penalty(line_size * (d + 1)) for d in range(n_prefetch + 1)
+    ]
+    position_list = positions.tolist()
+    n_runs = len(runs)
+    n_miss = len(position_list)
+
+    stalls = 0
+    extra = 0
+    k = 0
+    while k < n_miss:
+        i = position_list[k]
+        now = int(starts[i]) + extra
+        while True:
+            # Miss at run i, request issued at `now`: resume when the
+            # first word arrives, buffers busy until the burst lands.
+            stall = latency + int(offsets[i]) // bandwidth
+            if i >= cut:
+                stalls += stall
+            extra += stall
+            busy_until = now + burst
+            base_line = int(lines[i])
+            buffer_ready = {
+                base_line + d: now + fills[d] for d in range(n_prefetch + 1)
+            }
+            j = i + 1
+            chained = False
+            while j < n_runs:
+                now_j = int(starts[j]) + extra
+                if now_j > busy_until:
+                    break
+                ready = buffer_ready.get(int(lines[j]))
+                if ready is not None:
+                    # Fetching from a bypass buffer: wait for the line.
+                    wait = ready - now_j if ready > now_j else 0
+                elif not mask[j]:
+                    # Resident elsewhere: wait out the whole refill.
+                    wait = busy_until - now_j + 1
+                else:
+                    # A further miss inside the window: wait out the
+                    # refill, then restart the burst one cycle later.
+                    wait = busy_until - now_j + 1
+                    if j >= cut:
+                        stalls += wait
+                    extra += wait
+                    i = j
+                    now = busy_until + 1
+                    chained = True
+                    break
+                if j >= cut:
+                    stalls += wait
+                extra += wait
+                j += 1
+            if not chained:
+                break
+        # Everything before run j is accounted; hits outside a busy
+        # window are free, so jump straight to the next miss.
+        k = int(np.searchsorted(positions, j))
+    return FetchResult(instructions, stalls, misses)
+
+
+# -- pipelined stream buffers ------------------------------------------
+
+
+def _stream_buffer_result(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    n_lines: int,
+    refill_on_use: bool,
+    move_penalty: int,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    """Sparse replay of the stream-buffer engine over cache-miss events.
+
+    The engine consults its buffer only when the I-cache misses, and its
+    cache updates are identical to demand fetch, so the demand miss mask
+    gives the event positions and the kernel replays buffer state (and
+    flight-time stalls) at those events alone.
+    """
+    cache = line_order_cache(runs.lines)
+    mask = _demand_mask(runs, geometry)
+    positions = _miss_positions(cache, _mask_shape(geometry), mask)
+    if len(positions) == 0:
+        return FetchResult(instructions, 0, 0)
+
+    starts = _run_starts(runs)
+    event_base = starts[positions].tolist()
+    event_lines = runs.lines[positions].tolist()
+    position_list = positions.tolist()
+    latency = timing.latency
+
+    buffer: dict[int, int] = {}  # line -> arrival cycle, oldest first
+    next_prefetch = -1
+    last_issue = -1
+    extra = 0
+    stalls = 0
+    misses = 0
+    for event, p in enumerate(position_list):
+        now = event_base[event] + extra
+        line = event_lines[event]
+        arrival = buffer.pop(line, None)
+        if arrival is not None:
+            stall = (arrival - now if arrival > now else 0) + move_penalty
+            missed = False
+            if refill_on_use and n_lines > 0:
+                # Extend the stream by one line (refill-on-use).
+                issue = now if now > last_issue + 1 else last_issue + 1
+                if next_prefetch in buffer:
+                    del buffer[next_prefetch]
+                while len(buffer) >= n_lines:
+                    del buffer[next(iter(buffer))]
+                buffer[next_prefetch] = issue + latency
+                next_prefetch += 1
+                last_issue = issue
+        else:
+            # Miss in both: the restarted stream's n_lines requests are
+            # exactly the buffer's capacity, so they define its content.
+            buffer.clear()
+            first_arrival = now + 1 + latency
+            for distance in range(n_lines):
+                buffer[line + 1 + distance] = first_arrival + distance
+            next_prefetch = line + 1 + n_lines
+            last_issue = now + n_lines
+            stall = latency
+            missed = True
+        if p >= cut:
+            stalls += stall
+            if missed:
+                misses += 1
+        extra += stall
+    return FetchResult(instructions, stalls, misses)

@@ -15,7 +15,8 @@ Endpoints:
   "instructions"?, "seed"?, "wait"?}``; returns the job record (``202``
   while running, ``200`` when done with ``"wait": true``).
 * ``POST /v1/evaluate`` — body ``{"workload", "os"?, "config"?,
-  "mechanism"?, "instructions"?, "seed"?, "wait"?}``.
+  "mechanism"?, "instructions"?, "seed"?, "engine"?, "wait"?}``
+  (``engine``: ``auto`` | ``reference`` | ``vectorized``).
 * ``GET /v1/jobs/<id>`` — poll a job; ``GET /v1/jobs/<id>/result`` —
   the rendered table (experiments) or result JSON (evaluations).
 * ``GET /v1/results`` — result-store inventory.
@@ -30,7 +31,7 @@ import time
 from http import HTTPStatus
 
 from repro import package_version
-from repro.core.study import MECHANISMS
+from repro.core.study import ENGINES, MECHANISMS
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 from repro.experiments.common import ExperimentSettings
 from repro.service.http import HttpError, Request, Response, read_request
@@ -182,7 +183,15 @@ class ServiceApp:
             raise HttpError(
                 HTTPStatus.BAD_REQUEST, "instructions must be positive"
             )
-        return ExperimentSettings(n_instructions=n_instructions, seed=seed)
+        engine = payload.get("engine", "auto")
+        if engine not in ENGINES:
+            raise HttpError(
+                HTTPStatus.BAD_REQUEST,
+                f"unknown engine {engine!r}; expected one of {ENGINES}",
+            )
+        return ExperimentSettings(
+            n_instructions=n_instructions, seed=seed, engine=engine
+        )
 
     @staticmethod
     def _job_response(job, wait: bool) -> Response:

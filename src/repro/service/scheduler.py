@@ -30,7 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.config import MemorySystemConfig
-from repro.core.study import evaluate
+from repro.core.study import evaluate_trace
 from repro.experiments.common import (
     ExperimentSettings,
     canonical_job_key,
@@ -80,7 +80,21 @@ class EvaluateRequest:
             self.settings.warmup_fraction,
         )
 
+    @property
+    def group_key(self) -> tuple:
+        """Requests sharing this key run as one cell over one trace.
+
+        Grouping by workload/OS (and engine) lets a flush evaluate all
+        of a workload's requested points against a single loaded trace,
+        sharing its RLE streams and memoized miss masks.
+        """
+        return (self.workload, self.os_name, self.settings.engine)
+
     def key(self) -> str:
+        # settings_record (inside canonical_job_key) omits the engine:
+        # the differential tests pin both engines bit-identical, so
+        # requests differing only in engine coalesce and share stored
+        # results.
         return canonical_job_key(
             "evaluate",
             self.workload,
@@ -153,44 +167,57 @@ class Job:
         return record
 
 
-def _evaluate_cell(
+def _evaluate_group_cell(
     workload: str,
     os_name: str,
-    config_name: str,
-    mechanism: str,
+    engine: str,
+    points: tuple[tuple[str, str], ...],
     n_instructions: int,
     seed: int,
     warmup_fraction: float,
-) -> dict:
-    """Module-level (picklable) compute function for one evaluate cell."""
-    result = evaluate(
-        workload,
-        os_name,
-        _named_config(config_name),
-        mechanism=mechanism,
-        n_instructions=n_instructions,
-        seed=seed,
-        warmup_fraction=warmup_fraction,
-    )
-    return {
-        "kind": "evaluate",
-        "name": workload,
-        "os": os_name,
-        "config": config_name,
-        "mechanism": mechanism,
-        "settings": {
-            "n_instructions": n_instructions,
-            "seed": seed,
-            "warmup_fraction": warmup_fraction,
-        },
-        "metrics": {
-            "mpi": result.l1.mpi,
-            "l2_mpi": result.l2_mpi,
-            "cpi_l1": result.cpi_l1,
-            "cpi_l2": result.cpi_l2,
-            "cpi_instr": result.cpi_instr,
-        },
-    }
+) -> list[dict]:
+    """Module-level (picklable) compute function for one evaluate group.
+
+    Evaluates every requested ``(config, mechanism)`` point of one
+    workload against a single loaded trace, so a burst of point queries
+    shares trace synthesis *and* the per-stream miss-mask memoization.
+    Returns one payload per point, aligned with ``points``.
+    """
+    from repro.workloads.registry import get_trace
+
+    trace = get_trace(workload, os_name, n_instructions, seed)
+    payloads = []
+    for config_name, mechanism in points:
+        result = evaluate_trace(
+            trace,
+            _named_config(config_name),
+            mechanism=mechanism,
+            warmup_fraction=warmup_fraction,
+            engine=engine,
+        )
+        # The payload format is engine-independent on purpose: results
+        # are bit-identical across engines and may be served from the
+        # store to a request that asked for the other engine.
+        payloads.append({
+            "kind": "evaluate",
+            "name": workload,
+            "os": os_name,
+            "config": config_name,
+            "mechanism": mechanism,
+            "settings": {
+                "n_instructions": n_instructions,
+                "seed": seed,
+                "warmup_fraction": warmup_fraction,
+            },
+            "metrics": {
+                "mpi": result.l1.mpi,
+                "l2_mpi": result.l2_mpi,
+                "cpi_l1": result.cpi_l1,
+                "cpi_l2": result.cpi_l2,
+                "cpi_instr": result.cpi_instr,
+            },
+        })
+    return payloads
 
 
 class JobScheduler:
@@ -361,27 +388,36 @@ class JobScheduler:
             return
         self.metrics.inc("eval_batches_total")
         self.metrics.observe("eval_batch_size", len(batch))
-        cells = [
-            ExperimentCell(
-                key=(
-                    request.workload,
-                    request.os_name,
-                    request.config_name,
-                    request.mechanism,
-                ),
-                fn=_evaluate_cell,
-                args=(
-                    request.workload,
-                    request.os_name,
-                    request.config_name,
-                    request.mechanism,
-                    request.settings.n_instructions,
-                    request.settings.seed,
-                    request.settings.warmup_fraction,
-                ),
+        # One cell per (workload, OS, engine): all of a workload's
+        # requested points share one trace and its memoized miss masks.
+        groups: dict[tuple, list[int]] = {}
+        for index, (request, _job) in enumerate(batch):
+            groups.setdefault(request.group_key, []).append(index)
+        cells = []
+        for group_key, indices in groups.items():
+            workload, os_name, engine = group_key
+            first = batch[indices[0]][0]
+            cells.append(
+                ExperimentCell(
+                    key=group_key,
+                    fn=_evaluate_group_cell,
+                    args=(
+                        workload,
+                        os_name,
+                        engine,
+                        tuple(
+                            (
+                                batch[i][0].config_name,
+                                batch[i][0].mechanism,
+                            )
+                            for i in indices
+                        ),
+                        first.settings.n_instructions,
+                        first.settings.seed,
+                        first.settings.warmup_fraction,
+                    ),
+                )
             )
-            for request, _ in batch
-        ]
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         try:
@@ -395,9 +431,11 @@ class JobScheduler:
                 self._inflight.pop(job.key, None)
             return
         elapsed = time.perf_counter() - start
-        for (_, job), payload in zip(batch, results):
-            self.store.put(job.key, payload)
-            self.metrics.inc("jobs_executed_total", {"kind": "evaluate"})
-            job._complete(payload, None, "executed")
-            self._inflight.pop(job.key, None)
+        for indices, payloads in zip(groups.values(), results):
+            for index, payload in zip(indices, payloads):
+                _, job = batch[index]
+                self.store.put(job.key, payload)
+                self.metrics.inc("jobs_executed_total", {"kind": "evaluate"})
+                job._complete(payload, None, "executed")
+                self._inflight.pop(job.key, None)
         self.metrics.observe("job_seconds", elapsed, {"kind": "evaluate"})

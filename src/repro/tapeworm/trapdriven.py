@@ -115,26 +115,45 @@ class TapewormSimulator:
         self.n_frames = n_frames
         self.warmup_fraction = warmup_fraction
 
-    def run_trial(
-        self, runs: LineRuns, geometry: CacheGeometry, seed: int
-    ) -> TrialResult:
-        """One trial: fresh random page mapping, one cache simulation."""
+    def translated_runs(self, runs: LineRuns, seed: int) -> LineRuns:
+        """The stream under one seed's random page mapping.
+
+        Translation depends only on the seed (and the page/frame
+        parameters), never on the cache geometry, so a grid sweep can
+        translate once per trial and reuse the stream for every
+        geometry.
+        """
         mapper = RandomPageMapper(
             n_frames=self.n_frames, page_size=self.page_size, seed=seed
         )
         physical = translate_lines(runs.lines, runs.line_size, mapper)
-        translated = LineRuns(
+        return LineRuns(
             lines=physical,
             counts=runs.counts,
             first_offsets=runs.first_offsets,
             line_size=runs.line_size,
         )
+
+    def _measure(
+        self, translated: LineRuns, geometry: CacheGeometry, seed: int
+    ) -> TrialResult:
         measured = measure_mpi(translated, geometry, self.warmup_fraction)
         return TrialResult(
             seed=seed,
             mpi=measured.mpi,
             cpi_instr=measured.cpi_contribution(self.miss_penalty),
         )
+
+    def run_trial(
+        self, runs: LineRuns, geometry: CacheGeometry, seed: int
+    ) -> TrialResult:
+        """One trial: fresh random page mapping, one cache simulation."""
+        return self._measure(self.translated_runs(runs, seed), geometry, seed)
+
+    def _trial_seeds(self, n_trials: int, base_seed: int) -> list[int]:
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+        return [base_seed * 1000 + i for i in range(n_trials)]
 
     def run_trials(
         self,
@@ -144,10 +163,38 @@ class TapewormSimulator:
         base_seed: int = 0,
     ) -> VariabilityResult:
         """Figure 5's protocol: ``n_trials`` independently-mapped runs."""
-        if n_trials < 1:
-            raise ValueError(f"n_trials must be >= 1, got {n_trials}")
         trials = tuple(
-            self.run_trial(runs, geometry, seed=base_seed * 1000 + i)
-            for i in range(n_trials)
+            self.run_trial(runs, geometry, seed=seed)
+            for seed in self._trial_seeds(n_trials, base_seed)
         )
         return VariabilityResult(geometry=geometry, trials=trials)
+
+    def run_grid(
+        self,
+        runs: LineRuns,
+        geometries: list[CacheGeometry],
+        n_trials: int = 5,
+        base_seed: int = 0,
+    ) -> list[VariabilityResult]:
+        """Trial grid over many geometries, translating once per seed.
+
+        Bit-identical to calling :meth:`run_trials` per geometry, but
+        each trial's page-mapped stream is built once and shared: the
+        translated line arrays stay identity-stable across geometries,
+        so the per-array sort/miss-mask memoization in
+        :mod:`repro.caches.vectorized` carries the whole grid.
+        """
+        translated = [
+            (seed, self.translated_runs(runs, seed))
+            for seed in self._trial_seeds(n_trials, base_seed)
+        ]
+        return [
+            VariabilityResult(
+                geometry=geometry,
+                trials=tuple(
+                    self._measure(stream, geometry, seed)
+                    for seed, stream in translated
+                ),
+            )
+            for geometry in geometries
+        ]

@@ -39,6 +39,10 @@ def test_cold_warm_bench(bench_smoke, tmp_path):
     assert warm.get("trace-load", 0.0) > 0.0
     assert record["cache_entries"] > 0
     assert record["cache_bytes"] > 0
+    # The fetch-engine comparison ran and the two paths agreed.
+    fetch = record["fetch"]
+    assert fetch["renders_identical"] is True
+    assert fetch["speedup"] > 1.0
     # The JSON record round-trips.
     assert json.loads(json.dumps(record)) == record
 

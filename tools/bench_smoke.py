@@ -13,6 +13,11 @@ With no ``--cache-dir`` a temporary directory is used and removed
 afterwards.  The interesting fields of the output: the cold run's
 ``phase_totals.synthesize`` is the cost the cache amortizes, and the
 warm run's must be (near) zero.
+
+The record also carries a ``fetch`` section timing a reduced Figure 6
+sweep on the reference engines vs the vectorized stall-accounting
+kernels (both over the already-warm traces); the full-scale version of
+that comparison lives in ``benchmarks/bench_fetch.py``.
 """
 
 from __future__ import annotations
@@ -21,12 +26,47 @@ import argparse
 import json
 import shutil
 import tempfile
+import time
 
-from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, figure6
 from repro.experiments.common import ExperimentSettings
 from repro.runner.cache import TraceDiskCache
 from repro.runner.pool import run_experiment
 from repro.workloads.registry import clear_trace_cache, set_trace_cache_backend
+
+#: Reduced Figure 6 grid for the engine comparison (9 of 35 points).
+FETCH_BANDWIDTHS = (4, 16, 64)
+FETCH_LINE_SIZES = (16, 32, 64)
+
+
+def bench_fetch(n_instructions: int, seed: int = 0) -> dict:
+    """Reference-vs-vectorized timing of a reduced Figure 6 sweep."""
+
+    def timed(engine: str):
+        settings = ExperimentSettings(
+            n_instructions=n_instructions, seed=seed, engine=engine
+        )
+        start = time.perf_counter()
+        result = figure6.run(
+            settings,
+            bandwidths=FETCH_BANDWIDTHS,
+            line_sizes=FETCH_LINE_SIZES,
+        )
+        return result, time.perf_counter() - start
+
+    reference, reference_seconds = timed("reference")
+    vectorized, vectorized_seconds = timed("vectorized")
+    return {
+        "points": len(FETCH_BANDWIDTHS) * len(FETCH_LINE_SIZES),
+        "reference_seconds": reference_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": (
+            reference_seconds / vectorized_seconds
+            if vectorized_seconds > 0
+            else None
+        ),
+        "renders_identical": reference.render() == vectorized.render(),
+    }
 
 
 def bench(
@@ -57,7 +97,9 @@ def bench(
         )
         if cold_result.render() != warm_result.render():
             raise AssertionError("warm rerun changed the experiment output")
+        fetch = bench_fetch(n_instructions)
         return {
+            "fetch": fetch,
             "experiment": experiment,
             "n_instructions": n_instructions,
             "jobs": cold.jobs,
@@ -104,6 +146,13 @@ def main() -> None:
         f"warm: {record['warm']['wall_seconds']:.2f}s "
         f"(synthesize {warm.get('synthesize', 0.0):.2f}s, "
         f"trace-load {warm.get('trace-load', 0.0):.2f}s)"
+    )
+    fetch = record["fetch"]
+    print(
+        f"fetch engines: reference {fetch['reference_seconds']:.2f}s, "
+        f"vectorized {fetch['vectorized_seconds']:.2f}s "
+        f"({fetch['speedup']:.1f}x, renders "
+        f"{'identical' if fetch['renders_identical'] else 'DIVERGED'})"
     )
     print(f"wrote {args.out}")
 
