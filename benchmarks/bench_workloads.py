@@ -1,0 +1,198 @@
+"""Cold-synthesis throughput: frozen v1 generator vs the batched v2.
+
+Times ``repro.workloads.generator_reference.synthesize_trace`` (the
+frozen v1 walker) against ``repro.workloads.generator.synthesize_trace``
+(the batched v2 cold path) on an IBS Mach workload and a SPEC92
+workload at 200k and 1M instructions, checks v2 determinism (two runs
+with the same seed must be byte-identical), and appends one record to
+the ``BENCH_workloads.json`` trajectory at the repository root.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py
+        [--sizes 200000 1000000] [--seed 0] [--out BENCH_workloads.json]
+        [--check-against FILE] [--min-speedup-ratio 0.8]
+
+``--check-against`` compares the fresh headline speedup (the IBS
+workload at the largest size) to the last record of a committed
+trajectory and exits non-zero if it regressed by more than the allowed
+ratio — that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.workloads import generator, generator_reference
+from repro.workloads.registry import get_workload
+
+#: (workload, os) pairs timed at every size.  The IBS pair is the
+#: headline point; the SPEC pair guards the bigger-footprint models.
+WORKLOADS = [("mpeg_play", "mach3"), ("espresso", "spec92")]
+
+#: Repetitions per timing; the minimum is reported.
+REPEATS = 2
+
+
+def _traces_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.addresses, b.addresses)
+        and np.array_equal(a.kinds, b.kinds)
+        and np.array_equal(a.components, b.components)
+    )
+
+
+def _timed(synthesize, params, n_instructions: int, seed: int):
+    """(best seconds, traces) over REPEATS cold runs."""
+    best = float("inf")
+    traces = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        trace = synthesize(params, n_instructions, seed=seed)
+        best = min(best, time.perf_counter() - start)
+        traces.append(trace)
+    return best, traces
+
+
+def bench_point(
+    name: str, os_name: str, n_instructions: int, seed: int
+) -> dict:
+    """Time both generators cold on one (workload, size) point."""
+    params = get_workload(name, os_name)
+    reference_seconds, _ = _timed(
+        generator_reference.synthesize_trace, params, n_instructions, seed
+    )
+    vectorized_seconds, traces = _timed(
+        generator.synthesize_trace, params, n_instructions, seed
+    )
+    if not _traces_equal(traces[0], traces[1]):
+        raise AssertionError(
+            f"v2 synthesis is not deterministic for {name}/{os_name} "
+            f"@ {n_instructions} seed={seed}"
+        )
+    return {
+        "workload": name,
+        "os": os_name,
+        "n_instructions": n_instructions,
+        "reference_seconds": round(reference_seconds, 4),
+        "vectorized_seconds": round(vectorized_seconds, 4),
+        "reference_ips": int(n_instructions / reference_seconds),
+        "vectorized_ips": int(n_instructions / vectorized_seconds),
+        "speedup": round(reference_seconds / vectorized_seconds, 2),
+    }
+
+
+def bench(sizes: list[int], seed: int = 0) -> dict:
+    """One trajectory record: every workload at every size.
+
+    The headline ``speedup`` (what the CI gate reads) is the IBS
+    workload at the largest size — the ISSUE's ≥5x acceptance point.
+    """
+    points = [
+        bench_point(name, os_name, size, seed)
+        for size in sorted(sizes)
+        for name, os_name in WORKLOADS
+    ]
+    headline = max(
+        (p for p in points if p["os"] != "spec92"),
+        key=lambda p: p["n_instructions"],
+    )
+    return {
+        "benchmark": "cold-synthesis",
+        "generator_version": generator.GENERATOR_VERSION,
+        "seed": seed,
+        "sizes": sorted(sizes),
+        "points": points,
+        "speedup": headline["speedup"],
+        "headline": f"{headline['workload']}/{headline['os']}"
+        f"@{headline['n_instructions']}",
+        "deterministic": True,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def load_trajectory(path: pathlib.Path) -> list[dict]:
+    """The committed trajectory, or an empty one for a fresh file."""
+    if not path.exists():
+        return []
+    trajectory = json.loads(path.read_text())
+    if not isinstance(trajectory, list):
+        raise ValueError(f"{path} is not a trajectory (expected a JSON list)")
+    return trajectory
+
+
+def check_regression(
+    record: dict, baseline_path: pathlib.Path, min_ratio: float
+) -> str | None:
+    """``None`` if acceptable, else a message describing the regression.
+
+    Relative gate: absolute seconds vary across CI machines, but the
+    v1/v2 ratio on the same machine is stable.
+    """
+    trajectory = load_trajectory(baseline_path)
+    if not trajectory:
+        return None
+    baseline = trajectory[-1]["speedup"]
+    floor = min_ratio * baseline
+    if record["speedup"] < floor:
+        return (
+            f"cold-synthesis speedup regressed: {record['speedup']:.1f}x vs "
+            f"baseline {baseline:.1f}x (floor {floor:.1f}x)"
+        )
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[200_000, 1_000_000]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_workloads.json")
+    parser.add_argument(
+        "--check-against", metavar="FILE",
+        help="committed trajectory to gate the fresh speedup against",
+    )
+    parser.add_argument(
+        "--min-speedup-ratio", type=float, default=0.8,
+        help="fail when speedup < ratio * the baseline's last record",
+    )
+    args = parser.parse_args()
+
+    record = bench(args.sizes, args.seed)
+    print("cold synthesis, v1 reference vs v2 batched:")
+    for point in record["points"]:
+        print(
+            f"  {point['workload']}/{point['os']}"
+            f" @ {point['n_instructions']:>9,}:"
+            f"  v1 {point['reference_seconds']:.3f}s"
+            f"  v2 {point['vectorized_seconds']:.3f}s"
+            f"  ({point['speedup']:.1f}x,"
+            f" {point['vectorized_ips']:,} instr/s)"
+        )
+    print(f"  headline: {record['headline']} -> {record['speedup']:.1f}x")
+
+    out = pathlib.Path(args.out)
+    trajectory = load_trajectory(out)
+    trajectory.append(record)
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"appended to {out} ({len(trajectory)} record(s))")
+
+    if args.check_against:
+        message = check_regression(
+            record, pathlib.Path(args.check_against), args.min_speedup_ratio
+        )
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,10 +8,21 @@ Python object at a time:
 
 * direct-mapped: a reference hits iff the previous reference to the same
   set carried the same tag — computable with one stable sort.
-* set-associative LRU: a tight per-set dictionary loop (Python, but over
-  run-length-encoded line streams this is small).
-* fully-associative LRU: exact LRU stack distances via a Fenwick tree,
-  which yields the miss mask for *every* capacity at once.
+* set-associative LRU: exact per-set stack distances over the set-grouped
+  stream; a reference hits iff fewer than ``associativity`` distinct
+  lines of its set intervened since its previous occurrence.
+* fully-associative LRU: the same exact stack distances over the whole
+  stream, which yields the miss mask for *every* capacity at once.
+
+Stack distances are computed offline and fully vectorized (no Python
+per-reference loop): a reference's distance is the count of distinct
+lines in the window back to its previous occurrence, which reduces to
+counting the occurrence-gap intervals nested strictly inside the
+window's own gap interval — a 2D dominance count solved by an MSD-radix
+divide and conquer made of cumulative sums and stable partitions (see
+:func:`_count_smaller_to_right`).  One distance array per grouping is
+memoized on :class:`LineOrderCache` and serves every capacity and
+associativity of a sweep.
 
 All functions take *line numbers* (byte address >> log2(line_size)); use
 :meth:`repro.trace.Trace.line_addresses` or :func:`repro.trace.to_line_runs`
@@ -46,6 +57,9 @@ class LineOrderCache:
         self._orders: dict[int, np.ndarray] = {}
         self._compulsory: np.ndarray | None = None
         self._memo: dict = {}
+        #: Approximate bytes held by memoized artifacts (the line array
+        #: itself is charged too — the registry keeps it alive).
+        self.memo_bytes = int(self.lines.nbytes)
 
     def memo(self, key, compute):
         """Memoize ``compute()`` under ``key`` for this line array.
@@ -60,6 +74,8 @@ class LineOrderCache:
         if value is None:
             value = compute()
             self._memo[key] = value
+            self.memo_bytes += _value_nbytes(value)
+            _enforce_order_cache_budget()
         return value
 
     def coarsened(self, shift: int) -> np.ndarray:
@@ -92,6 +108,8 @@ class LineOrderCache:
             order = np.argsort(sets, kind="stable")
             order.setflags(write=False)  # shared between callers
             self._orders[n_sets] = order
+            self.memo_bytes += int(order.nbytes)
+            _enforce_order_cache_budget()
         return order
 
     def compulsory(self) -> np.ndarray:
@@ -104,15 +122,66 @@ class LineOrderCache:
                 mask[first_indices] = True
             mask.setflags(write=False)  # shared between callers
             self._compulsory = mask
+            self.memo_bytes += int(mask.nbytes)
+            _enforce_order_cache_budget()
         return self._compulsory
+
+    def stack_distances(self, n_sets: int = 1) -> np.ndarray:
+        """Memoized exact LRU stack distances, grouped by ``n_sets`` sets.
+
+        ``n_sets == 1`` gives whole-stream distances (fully-associative
+        behaviour); larger values give each reference's distance within
+        its own set's substream.  One array serves every associativity
+        (and, for ``n_sets == 1``, every capacity) of a sweep.
+        """
+        def compute() -> np.ndarray:
+            distances = _grouped_stack_distances(
+                self.lines, self.order(n_sets) if n_sets > 1 else None
+            )
+            distances.setflags(write=False)  # shared between callers
+            return distances
+
+        return self.memo(("stack-distances", n_sets), compute)
+
+
+def _value_nbytes(value) -> int:
+    """Approximate bytes of a memoized artifact (arrays, containers)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_value_nbytes(item) for item in value)
+    if isinstance(value, dict):
+        return sum(_value_nbytes(item) for item in value.values())
+    return 0
 
 
 #: Bounded registry of :class:`LineOrderCache` instances, keyed by the
 #: identity of the line array.  Holding the array alive through the
 #: cache guarantees its ``id`` cannot be reused while the entry exists;
-#: insertion order doubles as the eviction order.
+#: access order doubles as the eviction order (LRU), and the registry is
+#: bounded both by entry count and by the total bytes of memoized
+#: artifacts so a long-running ``repro serve`` process cannot grow it
+#: without limit.
 _ORDER_CACHE_CAPACITY = 16
+_ORDER_CACHE_MAX_BYTES = 1 << 30
 _order_caches: dict[int, LineOrderCache] = {}
+_order_cache_max_entries = _ORDER_CACHE_CAPACITY
+_order_cache_max_bytes = _ORDER_CACHE_MAX_BYTES
+
+
+def _enforce_order_cache_budget() -> None:
+    """Evict least-recently-used registry entries past either bound.
+
+    At least one entry always survives: the active stream's artifacts
+    may legitimately exceed the byte budget on their own, and evicting
+    them would only force an immediate recompute.
+    """
+    while len(_order_caches) > 1 and (
+        len(_order_caches) > _order_cache_max_entries
+        or sum(c.memo_bytes for c in _order_caches.values())
+        > _order_cache_max_bytes
+    ):
+        del _order_caches[next(iter(_order_caches))]
 
 
 def line_order_cache(lines: np.ndarray) -> LineOrderCache:
@@ -127,13 +196,45 @@ def line_order_cache(lines: np.ndarray) -> LineOrderCache:
     key = id(lines)
     cache = _order_caches.get(key)
     if cache is not None and cache.lines is lines:
+        # Move-to-end keeps dict order = LRU order.
+        del _order_caches[key]
+        _order_caches[key] = cache
         return cache
     cache = LineOrderCache(lines)
     if isinstance(lines, np.ndarray) and lines.dtype == np.uint64:
         _order_caches[key] = cache
-        while len(_order_caches) > _ORDER_CACHE_CAPACITY:
-            del _order_caches[next(iter(_order_caches))]
+        _enforce_order_cache_budget()
     return cache
+
+
+def configure_order_cache(
+    max_entries: int | None = None, max_bytes: int | None = None
+) -> None:
+    """Adjust the registry bounds (evicting down to them immediately)."""
+    global _order_cache_max_entries, _order_cache_max_bytes
+    if max_entries is not None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        _order_cache_max_entries = max_entries
+    if max_bytes is not None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        _order_cache_max_bytes = max_bytes
+    _enforce_order_cache_budget()
+
+
+def order_cache_stats() -> dict[str, int]:
+    """Entry count, memoized bytes, and bounds of the shared registry.
+
+    The serving tier exports these as gauges so operators can watch the
+    memo instead of discovering it through process growth.
+    """
+    return {
+        "entries": len(_order_caches),
+        "bytes": sum(c.memo_bytes for c in _order_caches.values()),
+        "max_entries": _order_cache_max_entries,
+        "max_bytes": _order_cache_max_bytes,
+    }
 
 
 def clear_order_caches() -> None:
@@ -179,7 +280,10 @@ def miss_mask_set_associative(
     """Per-reference miss mask of an LRU set-associative cache.
 
     ``associativity == 0`` means fully associative with capacity
-    ``n_sets`` lines (delegated to the exact stack-distance computation).
+    ``n_sets`` lines.  A reference hits iff its exact stack distance
+    *within its set's substream* is below the associativity, so one
+    memoized per-set distance array answers every associativity at the
+    same set count.
     """
     if associativity == 0:
         return miss_mask_fully_associative(lines, n_sets)
@@ -187,22 +291,10 @@ def miss_mask_set_associative(
         return miss_mask_direct_mapped(lines, n_sets)
     check_power_of_two("n_sets", n_sets)
     lines = np.asarray(lines, dtype=np.uint64)
-    n = len(lines)
-    miss = np.ones(n, dtype=bool)
-    mask = n_sets - 1
-    sets_state: list[dict[int, None]] = [dict() for _ in range(n_sets)]
-    line_list = lines.tolist()
-    for i, line in enumerate(line_list):
-        cache_set = sets_state[line & mask]
-        if line in cache_set:
-            del cache_set[line]
-            cache_set[line] = None
-            miss[i] = False
-        else:
-            if len(cache_set) >= associativity:
-                del cache_set[next(iter(cache_set))]
-            cache_set[line] = None
-    return miss
+    if len(lines) == 0:
+        return np.zeros(0, dtype=bool)
+    distances = line_order_cache(lines).stack_distances(n_sets)
+    return (distances < 0) | (distances >= associativity)
 
 
 def miss_mask_fully_associative(
@@ -212,54 +304,132 @@ def miss_mask_fully_associative(
 
     Computed from exact LRU stack distances: a reference misses iff the
     number of distinct lines touched since its previous occurrence is at
-    least ``capacity_lines`` (infinite for first touches).
+    least ``capacity_lines`` (infinite for first touches).  The distance
+    array is memoized per stream, so a capacity sweep pays for it once.
     """
-    distances = lru_stack_distances(lines)
+    lines = np.asarray(lines, dtype=np.uint64)
+    if len(lines) == 0:
+        return np.zeros(0, dtype=bool)
+    distances = line_order_cache(lines).stack_distances(1)
     return (distances < 0) | (distances >= capacity_lines)
 
 
 def lru_stack_distances(lines: np.ndarray) -> np.ndarray:
     """Exact LRU stack distance of every reference.
 
-    Returns ``-1`` for first touches (infinite distance).  Uses the
-    classic Fenwick-tree formulation: maintain a 0/1 array over trace
-    positions marking the *most recent* occurrence of each distinct
-    line; the stack distance of a reference is the count of marks after
-    its line's previous occurrence.
+    Returns ``-1`` for first touches (infinite distance).  Fully
+    vectorized: the distance of a reference at position ``i`` with
+    previous occurrence ``p`` is the number of distinct lines in
+    ``(p, i)``, which equals ``(i - p - 1)`` minus the number of
+    occurrence-gap intervals nested strictly inside ``(p, i)`` — a 2D
+    dominance count handled by :func:`_count_smaller_to_right`.
     """
     lines = np.asarray(lines, dtype=np.uint64)
+    return _grouped_stack_distances(lines, None)
+
+
+def _grouped_stack_distances(
+    lines: np.ndarray, order: np.ndarray | None
+) -> np.ndarray:
+    """Exact per-reference stack distances within each group of ``order``.
+
+    ``order`` is a stable grouping permutation (e.g. by cache set); the
+    distance of a reference is then computed within its group's
+    substream only.  ``None`` means one global group.  Returns distances
+    in original trace order, ``-1`` for group-local first touches.
+    """
     n = len(lines)
     distances = np.full(n, -1, dtype=np.int64)
     if n == 0:
         return distances
-    tree = [0] * (n + 1)
-
-    def bit_add(i: int, delta: int) -> None:
-        i += 1
-        while i <= n:
-            tree[i] += delta
-            i += i & (-i)
-
-    def bit_sum(i: int) -> int:
-        # Sum of positions [0, i]
-        i += 1
-        total = 0
-        while i > 0:
-            total += tree[i]
-            i -= i & (-i)
-        return total
-
-    last_pos: dict[int, int] = {}
-    line_list = lines.tolist()
-    for i, line in enumerate(line_list):
-        prev = last_pos.get(line)
-        if prev is not None:
-            # Distinct lines touched strictly after prev and before i.
-            distances[i] = bit_sum(i - 1) - bit_sum(prev)
-            bit_add(prev, -1)
-        bit_add(i, 1)
-        last_pos[line] = i
+    stream = lines if order is None else lines[order]
+    # Previous/next same-line occurrence within the (grouped) stream,
+    # via one stable argsort.  A line maps to exactly one group, so
+    # same-line adjacency in the sorted view never crosses groups.
+    by_line = np.argsort(stream, kind="stable")
+    sorted_lines = stream[by_line]
+    repeat = np.zeros(n, dtype=bool)
+    repeat[1:] = sorted_lines[1:] == sorted_lines[:-1]
+    repeat_slots = np.flatnonzero(repeat)
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[by_line[repeat_slots]] = by_line[repeat_slots - 1]
+    nxt = np.full(n, n, dtype=np.int64)
+    nxt[by_line[repeat_slots - 1]] = by_line[repeat_slots]
+    # distance(i) = (i - p - 1) - #{gap intervals [j, next_j] strictly
+    # inside (p, i)}.  Intervals sorted by left endpoint are simply the
+    # positions with a finite next, so the nested-interval count is a
+    # count-smaller-to-right over their next positions — and the query
+    # interval (p, i) is itself the gap interval anchored at p.
+    points = np.flatnonzero(nxt < n)
+    nested = np.zeros(n, dtype=np.int64)
+    nested[points] = _count_smaller_to_right(nxt[points])
+    where = np.flatnonzero(prev >= 0)
+    p = prev[where]
+    stream_distances = np.full(n, -1, dtype=np.int64)
+    stream_distances[where] = (where - p - 1) - nested[p]
+    if order is None:
+        return stream_distances
+    distances[order] = stream_distances
     return distances
+
+
+def _count_smaller_to_right(values: np.ndarray) -> np.ndarray:
+    """For each position ``t``: ``#{s > t : values[s] < values[t]}``.
+
+    Exact and fully vectorized, replacing the classic Fenwick-tree loop:
+    an MSD-radix divide and conquer over the value bits.  Elements stay
+    stably partitioned by the bits already processed; at each bit, every
+    element whose current bit is 1 gains the count of same-prefix
+    elements after it whose bit is 0 (exactly the pairs this bit
+    decides).  Each level is cumulative-sum and stable-partition work —
+    ``O(n)`` numpy passes per bit, ``O(n log n)`` total.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    n_bits = max(1, int(values.max()).bit_length())
+    index_dtype = np.int32 if n < 2**31 else np.int64
+    order = np.arange(n, dtype=index_dtype)
+    counts = np.zeros(n, dtype=np.int64)  # slot space, permuted with order
+    seg_new = np.zeros(n, dtype=bool)  # True at each segment's first slot
+    seg_new[0] = True
+    vals = values.astype(np.int64, copy=False)
+    for b in range(n_bits - 1, -1, -1):
+        bit = ((vals[order] >> b) & 1).astype(index_dtype)
+        zero = 1 - bit
+        seg_starts = np.flatnonzero(seg_new).astype(index_dtype)
+        if len(seg_starts) == n:
+            break  # every segment is a singleton; later bits decide nothing
+        seg_id = (np.cumsum(seg_new) - 1).astype(index_dtype)
+        cum_zeros = np.cumsum(zero, dtype=index_dtype)
+        zeros_before_seg = cum_zeros[seg_starts] - zero[seg_starts]
+        seg_ends = np.append(seg_starts[1:] - 1, n - 1).astype(index_dtype)
+        zeros_in_seg = cum_zeros[seg_ends] - zeros_before_seg
+        zseg = zeros_in_seg[seg_id]
+        # Zeros strictly after each slot within its segment.
+        zeros_after = (zeros_before_seg[seg_id] + zseg) - cum_zeros
+        counts += np.where(bit == 1, zeros_after.astype(np.int64), 0)
+        # Stable partition by bit within each segment.
+        cum_ones = np.cumsum(bit, dtype=index_dtype)
+        base = seg_starts[seg_id]
+        zero_rank = cum_zeros - 1 - zeros_before_seg[seg_id]
+        one_rank = (
+            cum_ones - 1 - (cum_ones[seg_starts] - bit[seg_starts])[seg_id]
+        )
+        new_pos = np.where(bit == 1, base + zseg + one_rank, base + zero_rank)
+        new_order = np.empty(n, dtype=index_dtype)
+        new_order[new_pos] = order
+        new_counts = np.empty(n, dtype=np.int64)
+        new_counts[new_pos] = counts
+        next_seg = np.zeros(n, dtype=bool)
+        next_seg[seg_starts] = True
+        splits = seg_starts + zeros_in_seg
+        next_seg[splits[(zeros_in_seg > 0) & (splits <= seg_ends)]] = True
+        order, counts, seg_new = new_order, new_counts, next_seg
+    out = np.empty(n, dtype=np.int64)
+    out[order] = counts
+    return out
 
 
 def compulsory_mask(lines: np.ndarray) -> np.ndarray:

@@ -167,6 +167,7 @@ def _cmd_cache(args) -> int:
             print(
                 f"  {info.name:12s} {info.os_name:8s} "
                 f"n={info.n_instructions:>9,} seed={info.seed} "
+                f"gen=v{info.generator_version} "
                 f"{info.bytes:>12,} B  "
                 f"{info.artifacts} line-run artifact(s)"
             )

@@ -72,10 +72,23 @@ class ExtSensitivityResult:
         return 1 if high > low else -1
 
 
+#: Seeds averaged per knob setting.  A single run's MPI moves with the
+#: code-layout draw (the paper's Figure 5 effect) by more than the
+#: weaker knobs move it; averaging isolates the knob's own slope.
+_N_SEEDS = 4
+
+
 def _mpi(workload, settings: ExperimentSettings) -> float:
-    trace = synthesize_trace(workload, settings.n_instructions, settings.seed)
-    runs = to_line_runs(trace.ifetch_addresses(), 32)
-    return measure_mpi(runs, REFERENCE, settings.warmup_fraction).mpi_per_100
+    values = []
+    for offset in range(_N_SEEDS):
+        trace = synthesize_trace(
+            workload, settings.n_instructions, settings.seed + offset
+        )
+        runs = to_line_runs(trace.ifetch_addresses(), 32)
+        values.append(
+            measure_mpi(runs, REFERENCE, settings.warmup_fraction).mpi_per_100
+        )
+    return float(sum(values) / len(values))
 
 
 def run(

@@ -85,6 +85,7 @@ class CacheEntryInfo:
     path: str
     bytes: int
     artifacts: int
+    generator_version: int
 
     def to_dict(self) -> dict:
         """JSON-ready record (for ``repro cache info --json``)."""
@@ -96,6 +97,7 @@ class CacheEntryInfo:
             "path": self.path,
             "bytes": self.bytes,
             "artifacts": self.artifacts,
+            "generator_version": self.generator_version,
         }
 
 
@@ -154,6 +156,8 @@ class TraceDiskCache:
         os.makedirs(self.root, exist_ok=True)
         staging = tempfile.mkdtemp(prefix=".staging-", dir=self.root)
         try:
+            from repro.workloads.generator import GENERATOR_VERSION
+
             save_trace_columns(trace, staging)
             with open(os.path.join(staging, "entry.json"), "w") as handle:
                 json.dump(
@@ -163,6 +167,7 @@ class TraceDiskCache:
                         "n_instructions": n_instructions,
                         "seed": seed,
                         "fingerprint": params_fingerprint(params),
+                        "generator_version": GENERATOR_VERSION,
                     },
                     handle,
                 )
@@ -270,6 +275,9 @@ class TraceDiskCache:
                     path=entry,
                     bytes=total,
                     artifacts=artifacts,
+                    # Entries written before the field existed are all
+                    # from generator v1.
+                    generator_version=int(meta.get("generator_version", 1)),
                 )
             )
         return infos

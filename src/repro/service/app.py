@@ -38,8 +38,13 @@ from repro.service.http import HttpError, Request, Response, read_request
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import CONFIGS, EvaluateRequest, JobScheduler
 from repro.service.store import ResultStore
+from repro.caches.vectorized import order_cache_stats
 from repro.workloads.generator import GENERATOR_VERSION
-from repro.workloads.registry import DEFAULT_TRACE_INSTRUCTIONS, get_workload
+from repro.workloads.registry import (
+    DEFAULT_TRACE_INSTRUCTIONS,
+    get_workload,
+    trace_cache_stats,
+)
 
 #: Default bind for ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -162,6 +167,16 @@ class ServiceApp:
         self.metrics.set_gauge("queue_depth", self.scheduler.queue_depth)
         self.metrics.set_gauge("result_store_entries", len(self.store))
         self.metrics.set_gauge("result_store_bytes", self.store.current_bytes)
+        traces = trace_cache_stats()
+        self.metrics.set_gauge("trace_cache_entries", traces["entries"])
+        self.metrics.set_gauge(
+            "trace_cache_resident_bytes", traces["resident_bytes"]
+        )
+        # The process-global stack-distance memo (caches/vectorized):
+        # bounded, but worth watching on a long-lived server.
+        order = order_cache_stats()
+        self.metrics.set_gauge("line_order_cache_entries", order["entries"])
+        self.metrics.set_gauge("line_order_cache_bytes", order["bytes"])
         if request.query.get("format") == "json":
             return Response.from_json(self.metrics.to_dict())
         return Response.from_text(

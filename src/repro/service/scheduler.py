@@ -38,6 +38,7 @@ from repro.experiments.common import (
 )
 from repro.runner import timing
 from repro.runner.pool import ExperimentCell, run_cells, run_experiment
+from repro.workloads import registry
 
 #: Job lifecycle states.
 PENDING = "pending"
@@ -251,12 +252,20 @@ class JobScheduler:
             "phase_seconds", seconds, {"phase": name}
         )
         timing.add_phase_observer(self._phase_observer)
+        # Trace-cache outcome counters: every registry lookup lands as
+        # a memory-hit / disk-hit / synthesized event, so operators can
+        # see cold-path synthesis pressure directly in /metrics.
+        self._trace_cache_observer = lambda event: self.metrics.inc(
+            "trace_cache_lookups_total", {"result": event}
+        )
+        registry.add_trace_cache_observer(self._trace_cache_observer)
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
         """Detach from the timing feed and stop the worker threads."""
         timing.remove_phase_observer(self._phase_observer)
+        registry.remove_trace_cache_observer(self._trace_cache_observer)
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     # -- introspection -------------------------------------------------

@@ -1,14 +1,17 @@
-"""The trace synthesizer.
+"""The trace synthesizer (batched v2).
 
 Turns a :class:`~repro.workloads.params.WorkloadParams` description into
 a full address trace.  The model, bottom-up:
 
 * **Runs**: straight-line bursts of sequential 4-byte instruction
-  fetches, with geometric lengths (``mean_run``).  A run may be a loop
-  body that repeats (``loop_back_prob`` / ``loop_mean_iters``).
+  fetches.  Each procedure is partitioned into static basic blocks
+  (geometric lengths, mean = ``mean_run``); every block ends at a fixed
+  branch site with a sticky taken-bias and target.  A site may be a
+  loop back-edge that repeats its block (``loop_back_prob`` /
+  ``loop_mean_iters``).
 * **Visits**: a procedure is entered and executed for a geometric number
   of instructions (``visit_instructions``), walking runs through its
-  body (wrapping for long visits).
+  static control-flow graph (wrapping for long visits).
 * **Procedure selection**: the next procedure is either a *discovery*
   (an unvisited callee reached through the call graph — this grows the
   footprint toward ``code_kb``) or a *revisit* chosen by LRU stack
@@ -21,6 +24,19 @@ a full address trace.  The model, bottom-up:
 * **Data references**: loads/stores are attached to instructions at the
   configured rates, with addresses drawn from a per-component stack +
   heap model (:mod:`repro.workloads.datarefs`).
+
+Unlike the v1 synthesizer (kept frozen in
+:mod:`repro.workloads.generator_reference` for benchmarking), nothing
+here iterates per visit or per run in Python on the hot path.  The
+component schedule, visit budgets, Zipf stack distances, entry points
+and loop-iteration counts are all drawn in large blocks, and the
+run walk advances *every* visit of a component simultaneously, one
+basic block per level, over compacted numpy arrays.  Loop iterations
+are emitted as ``(start, length, count)`` run records and expanded with
+``np.repeat``.  The only remaining sequential state is footprint
+discovery (the move-to-front stack and call-graph frontier), which is
+inherently order-dependent and runs as a cheap O(visits) decode of
+pre-drawn batched choices.
 
 Everything is seeded; the same ``(params, n_instructions, seed)`` tuple
 always produces the identical trace.
@@ -41,12 +57,20 @@ from repro.workloads.params import ComponentParams, WorkloadParams
 #: Version of the synthesis algorithm.  Bump whenever a change alters
 #: the trace produced for a given ``(params, n_instructions, seed)`` —
 #: it is part of the on-disk trace-cache key, so stale cached traces
-#: are never mistaken for current ones.
-GENERATOR_VERSION = 1
+#: are never mistaken for current ones.  Version 2 is the batched
+#: synthesizer; its traces are statistically equivalent to v1's but not
+#: byte-identical, so every v1 cache entry is invalid under v2.
+GENERATOR_VERSION = 2
+
+# Real branch sites are strongly biased one way (~90/10); the
+# mostly-taken share is chosen so the *average* taken rate stays at
+# branch_jump_prob (the calibrated sequentiality knob).
+_SITE_HI, _SITE_LO = 0.9, 0.1
 
 
-class _ComponentWalker:
-    """Per-component execution state: code image, call graph, reuse stack."""
+class _ComponentPlan:
+    """Per-component batched execution state: code image, call graph,
+    static control-flow structure, and the pre-drawn choice streams."""
 
     def __init__(
         self,
@@ -61,31 +85,21 @@ class _ComponentWalker:
             component, params.n_procedures, params.mean_proc_bytes, seed
         )
         self.graph = build_call_graph(self.image, seed)
-        self._rng = spawn(make_rng(seed), f"walker:{component.name}")
+        # Independent child streams (fixed spawn order = determinism):
+        # one per concern, so reordering draws inside one stage cannot
+        # perturb the others.
+        base = spawn(make_rng(seed), f"walker:{component.name}")
+        self._rng_cfg = spawn(base, "cfg")
+        self._rng_select = spawn(base, "select")
+        self._rng_frontier = spawn(base, "frontier")
+        self._rng_runs = spawn(base, "runs")
+
         n = len(self.image.procedures)
         # Zipf(theta) cumulative weights over stack distances 1..n.
         ranks = np.arange(1, n + 1, dtype=np.float64)
         self._zipf_cum = np.cumsum(ranks ** -params.theta)
-        # Most-recently-visited-first list of procedure indices.
-        self._mtf: list[int] = []
         self._visited = np.zeros(n, dtype=bool)
         self._frontier: list[int] = []
-        # Static control-flow structure, built lazily per procedure:
-        # each procedure is partitioned into basic blocks (geometric
-        # lengths, mean = mean_run); every block ends at a fixed branch
-        # site with a sticky taken-bias and target.  Real branch sites
-        # are strongly biased one way (~90/10); the mostly-taken share
-        # is chosen so the *average* taken rate stays at
-        # branch_jump_prob (the calibrated sequentiality knob).
-        self._block_ends: dict[int, list[int]] = {}
-        self._sites: dict[tuple[int, int], tuple[float, int]] = {}
-        p = params.branch_jump_prob
-        self._site_hi, self._site_lo = 0.9, 0.1
-        self._mostly_taken_share = min(
-            1.0, max(0.0, (p - self._site_lo) / (self._site_hi - self._site_lo))
-        )
-        # Loop sites repeat their own block with geometric iterations.
-        self._loop_bias = params.loop_mean_iters / (params.loop_mean_iters + 1.0)
         # Discovery probability sized so the footprint fills early in
         # the trace (within roughly the first quarter), leaving the
         # remainder in steady state.  The paper's 100 MB traces make
@@ -96,30 +110,124 @@ class _ComponentWalker:
             self.discovery_prob = min(0.6, 4.0 * n / expected_visits)
         else:
             self.discovery_prob = 0.25
-        self._unvisited_count = n
+        self._proc_lengths = np.array(
+            [p.n_instructions for p in self.image.procedures], dtype=np.int64
+        )
+        self._proc_bases = np.array(
+            [p.base for p in self.image.procedures], dtype=np.uint64
+        )
+        self._build_cfg()
 
-    # -- procedure selection -------------------------------------------
+    # -- static control flow ----------------------------------------------
 
-    def next_procedure(self) -> int:
-        """Pick the next procedure to visit; updates the reuse stack."""
-        rng = self._rng
-        if not self._mtf:
-            return self._discover(entry=True)
-        if self._unvisited_count > 0 and rng.random() < self.discovery_prob:
-            return self._discover(entry=False)
-        m = len(self._mtf)
-        if m == 1:
-            return self._mtf[0]
-        u = rng.random() * self._zipf_cum[m - 1]
-        distance = int(np.searchsorted(self._zipf_cum, u, side="right"))
-        distance = min(distance, m - 1)
-        proc = self._mtf.pop(distance)
-        self._mtf.insert(0, proc)
-        return proc
+    def _build_cfg(self) -> None:
+        """Draw every procedure's static basic blocks and branch sites.
+
+        Blocks are geometric partitions of the procedure body; each
+        block's branch site is, with probability ``loop_back_prob``, a
+        loop back-edge (target = its own block start, bias giving
+        ``loop_mean_iters`` expected iterations), otherwise a biased
+        forward/backward branch with a uniform fixed target.
+        """
+        rng = self._rng_cfg
+        params = self.params
+        p_block = 1.0 / params.mean_run
+        mostly_taken_share = min(
+            1.0,
+            max(0.0, (params.branch_jump_prob - _SITE_LO) / (_SITE_HI - _SITE_LO)),
+        )
+        self._loop_bias = params.loop_mean_iters / (params.loop_mean_iters + 1.0)
+
+        ends_per_proc: list[np.ndarray] = []
+        for n in self._proc_lengths.tolist():
+            need = max(8, int(n * p_block * 1.5) + 8)
+            while True:
+                cum = np.cumsum(rng.geometric(p_block, size=need)) - 1
+                if int(cum[-1]) >= n - 1:
+                    break
+                need *= 2
+            last = int(np.searchsorted(cum, n - 1, side="left"))
+            ends = cum[: last + 1].astype(np.int64)
+            ends[last] = n - 1
+            ends_per_proc.append(ends)
+
+        nblocks = np.array([len(e) for e in ends_per_proc], dtype=np.int64)
+        ends = np.concatenate(ends_per_proc)
+        offsets = np.cumsum(nblocks) - nblocks
+        starts = np.empty_like(ends)
+        starts[offsets] = 0
+        interior = np.ones(len(ends), dtype=bool)
+        interior[offsets] = False
+        starts[interior] = ends[np.flatnonzero(interior) - 1] + 1
+
+        n_rep = np.repeat(self._proc_lengths, nblocks)
+        u_kind = rng.random(len(ends))
+        u_bias = rng.random(len(ends))
+        u_target = rng.random(len(ends))
+        is_loop = u_kind < params.loop_back_prob
+        self._block_ends = ends
+        self._block_start = starts
+        self._block_is_loop = is_loop
+        self._block_bias = np.where(u_bias < mostly_taken_share, _SITE_HI, _SITE_LO)
+        self._block_target = np.where(
+            is_loop, starts, (u_target * n_rep).astype(np.int64)
+        )
+        # Within a procedure block ends are strictly increasing, so
+        # offsetting each procedure's ends by its cumulative length
+        # yields one globally sorted array — a single searchsorted then
+        # resolves the current block for every active visit at once.
+        self._pos_base = np.cumsum(self._proc_lengths) - self._proc_lengths
+        self._block_ends_global = ends + np.repeat(self._pos_base, nblocks)
+
+    # -- procedure selection -----------------------------------------------
+
+    def select_procedures(self, n_visits: int) -> np.ndarray:
+        """Pick the procedure of each visit, batched.
+
+        Discovery flags and Zipf stack distances are drawn for all
+        visits up front (the stack size before each visit is a cumsum
+        of the discovery flags, so revisit distances batch through one
+        ``searchsorted``); only the move-to-front decode — inherently
+        sequential — walks the visits in Python, doing pure list ops.
+        """
+        n = len(self._proc_lengths)
+        rng = self._rng_select
+        u_disc = rng.random(n_visits)
+        u_zipf = rng.random(n_visits)
+        candidate = u_disc < self.discovery_prob
+        if n_visits:
+            candidate[0] = True  # first visit must discover
+        is_disc = candidate & (np.cumsum(candidate) <= n)
+        discovered_before = np.cumsum(is_disc) - is_disc
+        revisit = np.flatnonzero(~is_disc)
+        distances = np.zeros(n_visits, dtype=np.int64)
+        if len(revisit):
+            m = discovered_before[revisit]  # stack size, >= 1 after visit 0
+            u = u_zipf[revisit] * self._zipf_cum[m - 1]
+            drawn = np.searchsorted(self._zipf_cum, u, side="right")
+            distances[revisit] = np.minimum(drawn, m - 1)
+
+        procs = np.empty(n_visits, dtype=np.int64)
+        mtf: list[int] = []
+        disc_list = is_disc.tolist()
+        dist_list = distances.tolist()
+        for t in range(n_visits):
+            if disc_list[t]:
+                proc = self._discover(entry=not mtf)
+                mtf.insert(0, proc)
+            else:
+                distance = dist_list[t]
+                if distance:
+                    proc = mtf.pop(distance)
+                    mtf.insert(0, proc)
+                else:
+                    proc = mtf[0]
+            procs[t] = proc
+        return procs
 
     def _discover(self, entry: bool) -> int:
         """Visit a brand-new procedure, preferring call-graph neighbours."""
-        rng = self._rng
+        rng = self._rng_frontier
         proc: int | None = None
         while self._frontier:
             candidate = self._frontier.pop()
@@ -133,9 +241,6 @@ class _ComponentWalker:
                 unvisited = np.flatnonzero(~self._visited)
                 proc = int(unvisited[rng.integers(0, len(unvisited))])
         self._visited[proc] = True
-        self._unvisited_count -= 1
-        self._mtf.insert(0, proc)
-        # Shuffle new unvisited callees into the frontier.
         callees = [
             callee
             for callee in self.graph.successors(proc)
@@ -146,93 +251,119 @@ class _ComponentWalker:
             self._frontier.extend(callees)
         return proc
 
-    # -- visit emission --------------------------------------------------
-
-    def _blocks_of(self, proc_index: int, n_instr: int) -> list[int]:
-        """The procedure's static basic-block end positions (sorted)."""
-        ends = self._block_ends.get(proc_index)
-        if ends is None:
-            rng = self._rng
-            p_block = 1.0 / self.params.mean_run
-            ends = []
-            position = -1
-            while position < n_instr - 1:
-                position = min(
-                    position + int(rng.geometric(p_block)), n_instr - 1
-                )
-                ends.append(position)
-            self._block_ends[proc_index] = ends
-        return ends
-
-    def _site_of(
-        self, proc_index: int, end_pos: int, block_start: int, n_instr: int
-    ) -> tuple[float, int]:
-        """The static ``(taken bias, target)`` of one block's branch.
-
-        With probability ``loop_back_prob`` the site is a loop back-edge
-        (target = its own block start, bias giving ``loop_mean_iters``
-        expected iterations); otherwise a biased forward/backward branch
-        with a uniform fixed target.
-        """
-        key = (proc_index, end_pos)
-        site = self._sites.get(key)
-        if site is None:
-            rng = self._rng
-            params = self.params
-            if rng.random() < params.loop_back_prob:
-                site = (self._loop_bias, block_start)
-            else:
-                bias = (
-                    self._site_hi
-                    if rng.random() < self._mostly_taken_share
-                    else self._site_lo
-                )
-                site = (bias, int(rng.integers(0, n_instr)))
-            self._sites[key] = site
-        return site
+    # -- run emission ------------------------------------------------------
 
     def visit_runs(
-        self, proc_index: int, budget: int, starts: list[int], lengths: list[int]
-    ) -> int:
-        """Append the runs of one procedure visit; return instructions used.
+        self, procs: np.ndarray, budgets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The runs of every visit, walked level-by-level in parallel.
 
-        The visit enters at the procedure base (or a random offset) and
-        executes the procedure's *static* control-flow graph: sequential
-        within basic blocks, with each block's fixed branch site
-        deciding — by its sticky bias — whether to take its fixed
-        target (loop back-edges included) or fall through.
+        All visits advance through their procedure's static CFG one
+        basic block per iteration, over arrays compacted to the visits
+        that still have budget.  Loop back-edges emit their repeats as a
+        single ``(start, length, count)`` record instead of per
+        iteration.  Returns ``(visit, start_addr, length, count)``
+        record columns; records of one visit appear in execution order
+        once the caller stable-sorts by visit.
         """
-        from bisect import bisect_left
-
         params = self.params
-        rng = self._rng
-        proc = self.image.procedures[proc_index]
-        n_instr = proc.n_instructions
-        base = proc.base
-        ends = self._blocks_of(proc_index, n_instr)
-        if rng.random() < params.random_entry_fraction:
-            pos = int(rng.integers(0, n_instr))
-        else:
-            pos = 0
-        used = 0
-        while used < budget:
-            block_index = bisect_left(ends, pos)
-            end = ends[block_index]
-            run_len = min(end - pos + 1, budget - used)
-            starts.append(base + 4 * pos)
-            lengths.append(run_len)
-            used += run_len
-            if used >= budget or pos + run_len <= end:
-                break  # budget exhausted (possibly mid-block)
-            block_start = ends[block_index - 1] + 1 if block_index else 0
-            bias, target = self._site_of(proc_index, end, block_start, n_instr)
-            if rng.random() < bias:
-                pos = target
-            else:
-                pos = end + 1
-                if pos >= n_instr:
-                    pos = 0
-        return used
+        rng = self._rng_runs
+        nv = len(procs)
+        if nv == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, np.zeros(0, dtype=np.uint64), empty.copy(), empty.copy()
+
+        n_instr = self._proc_lengths[procs]
+        base = self._proc_bases[procs]
+        pos_base = self._pos_base[procs]
+        u_entry = rng.random(nv)
+        u_pos = rng.random(nv)
+        pos = np.where(
+            u_entry < params.random_entry_fraction,
+            (u_pos * n_instr).astype(np.int64),
+            0,
+        )
+        rem = np.asarray(budgets, dtype=np.int64).copy()
+        idx = np.arange(nv, dtype=np.int64)
+        live = rem > 0
+        idx, pos, rem, n_instr, base, pos_base = (
+            a[live] for a in (idx, pos, rem, n_instr, base, pos_base)
+        )
+
+        p_loop_exit = 1.0 / (params.loop_mean_iters + 1.0)
+        out_v: list[np.ndarray] = []
+        out_s: list[np.ndarray] = []
+        out_l: list[np.ndarray] = []
+        out_c: list[np.ndarray] = []
+        ends_global = self._block_ends_global
+        while idx.size:
+            k = idx.size
+            block = np.searchsorted(ends_global, pos + pos_base, side="left")
+            end = self._block_ends[block]
+            bstart = self._block_start[block]
+            is_loop = self._block_is_loop[block]
+            bias = self._block_bias[block]
+            target = self._block_target[block]
+
+            natural = end - pos + 1
+            run_len = np.minimum(natural, rem)
+            completed = natural <= rem
+            rem_after = rem - run_len
+            out_v.append(idx)
+            out_s.append(base + np.uint64(4) * pos.astype(np.uint64))
+            out_l.append(run_len)
+            out_c.append(np.ones(k, dtype=np.int64))
+
+            # Loop back-edges: the whole geometric iteration count at
+            # once.  Full repeats become one counted record; a final
+            # iteration cut short by the budget becomes a partial one.
+            extra = rng.geometric(p_loop_exit, size=k) - 1
+            u_branch = rng.random(k)
+            looping = completed & is_loop & (extra > 0) & (rem_after > 0)
+            if looping.any():
+                block_len = end - bstart + 1
+                full = np.zeros(k, dtype=np.int64)
+                full[looping] = np.minimum(
+                    extra[looping], rem_after[looping] // block_len[looping]
+                )
+                repeats = full > 0
+                if repeats.any():
+                    out_v.append(idx[repeats])
+                    out_s.append(
+                        base[repeats]
+                        + np.uint64(4) * bstart[repeats].astype(np.uint64)
+                    )
+                    out_l.append(block_len[repeats])
+                    out_c.append(full[repeats])
+                    rem_after = rem_after - full * block_len
+                cut = looping & (full < extra) & (rem_after > 0)
+                if cut.any():
+                    out_v.append(idx[cut])
+                    out_s.append(
+                        base[cut] + np.uint64(4) * bstart[cut].astype(np.uint64)
+                    )
+                    out_l.append(rem_after[cut])
+                    out_c.append(np.ones(int(cut.sum()), dtype=np.int64))
+                    rem_after = np.where(cut, 0, rem_after)
+
+            # Next position: loop sites fall through once done; other
+            # sites take their sticky-biased branch or fall through,
+            # wrapping past the procedure end.
+            taken = completed & ~is_loop & (u_branch < bias)
+            fall = end + 1
+            new_pos = np.where(taken, target, np.where(fall >= n_instr, 0, fall))
+            live = rem_after > 0
+            idx, pos, rem, n_instr, base, pos_base = (
+                a[live]
+                for a in (idx, new_pos, rem_after, n_instr, base, pos_base)
+            )
+
+        return (
+            np.concatenate(out_v),
+            np.concatenate(out_s),
+            np.concatenate(out_l),
+            np.concatenate(out_c),
+        )
 
 
 class TraceSynthesizer:
@@ -258,7 +389,7 @@ class TraceSynthesizer:
         """The code images a trace from this synthesizer executes.
 
         Identical (procedure for procedure) to the images the internal
-        walkers build during :meth:`synthesize`.
+        plans build during :meth:`synthesize`.
         """
         return {
             component: build_code_image(
@@ -286,12 +417,13 @@ class TraceSynthesizer:
             [params.components[c].exec_fraction for c in components]
         )
         mean_visit = sum(
-            params.components[c].exec_fraction * params.components[c].visit_instructions
+            params.components[c].exec_fraction
+            * params.components[c].visit_instructions
             for c in components
         )
         expected_total_visits = n_instructions / mean_visit
-        walkers = {
-            c: _ComponentWalker(
+        plans = {
+            c: _ComponentPlan(
                 c,
                 params.components[c],
                 expected_visits=expected_total_visits
@@ -301,43 +433,110 @@ class TraceSynthesizer:
             for c in components
         }
 
-        starts: list[int] = []
-        lengths: list[int] = []
-        run_components: list[int] = []
+        comp_seq, budget_seq = self._plan_schedule(
+            n_instructions, components, fractions, control_rng
+        )
 
-        switch_prob = 1.0 / params.burst_visits
-        current = components[
-            int(control_rng.choice(len(components), p=fractions))
-        ]
-        emitted = 0
-        while emitted < n_instructions:
-            if len(components) > 1 and control_rng.random() < switch_prob:
-                current = components[
-                    int(control_rng.choice(len(components), p=fractions))
-                ]
-            walker = walkers[current]
-            cparams = walker.params
-            budget = min(
-                max(4, int(control_rng.geometric(1.0 / cparams.visit_instructions))),
-                n_instructions - emitted,
-            )
-            proc = walker.next_procedure()
-            runs_before = len(starts)
-            used = walker.visit_runs(proc, budget, starts, lengths)
-            run_components.extend(
-                [int(current)] * (len(starts) - runs_before)
-            )
-            emitted += used
+        # Each component emits the run records of all its visits at
+        # once; a stable sort on global visit id then interleaves the
+        # components back into schedule order.
+        comp_values = np.array([int(c) for c in components], dtype=np.uint8)
+        rec_visit: list[np.ndarray] = []
+        rec_start: list[np.ndarray] = []
+        rec_len: list[np.ndarray] = []
+        rec_count: list[np.ndarray] = []
+        rec_comp: list[np.ndarray] = []
+        for ci, component in enumerate(components):
+            visit_ids = np.flatnonzero(comp_seq == ci)
+            if not len(visit_ids):
+                continue
+            plan = plans[component]
+            procs = plan.select_procedures(len(visit_ids))
+            v, s, length, count = plan.visit_runs(procs, budget_seq[visit_ids])
+            rec_visit.append(visit_ids[v])
+            rec_start.append(s)
+            rec_len.append(length)
+            rec_count.append(count)
+            rec_comp.append(np.full(len(v), comp_values[ci], dtype=np.uint8))
 
+        visit_col = np.concatenate(rec_visit)
+        order = np.argsort(visit_col, kind="stable")
+        counts = np.concatenate(rec_count)[order]
+        starts = np.repeat(np.concatenate(rec_start)[order], counts)
+        lengths = np.repeat(np.concatenate(rec_len)[order], counts)
+        run_components = np.repeat(np.concatenate(rec_comp)[order], counts)
         return self._assemble(starts, lengths, run_components, root)
+
+    def _plan_schedule(
+        self,
+        n_instructions: int,
+        components: list[Component],
+        fractions: np.ndarray,
+        control_rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The visit schedule: which component runs each visit, and for
+        how many instructions — drawn in large blocks.
+
+        Component switches are a Markov chain (switch with probability
+        ``1/burst_visits``, redraw from the exec-fraction mix); filling
+        the chain is a cumsum-gather over the switch points.  The block
+        is oversized, then truncated at the visit that crosses
+        ``n_instructions``, whose budget is clipped to land exactly.
+        """
+        n_comp = len(components)
+        visit_means = np.array(
+            [self.params.components[c].visit_instructions for c in components],
+            dtype=np.float64,
+        )
+        switch_prob = 1.0 / self.params.burst_visits
+        current = int(control_rng.choice(n_comp, p=fractions))
+
+        mean_visit = float(fractions @ visit_means)
+        block = int(n_instructions / max(mean_visit, 1.0)) + 64
+        comp_chunks: list[np.ndarray] = []
+        budget_chunks: list[np.ndarray] = []
+        total = 0
+        while total < n_instructions:
+            size = max(256, block)
+            if n_comp > 1:
+                switch = control_rng.random(size) < switch_prob
+                n_switches = int(switch.sum())
+                draws = (
+                    control_rng.choice(n_comp, size=n_switches, p=fractions)
+                    if n_switches
+                    else np.zeros(0, dtype=np.int64)
+                )
+                filled = np.concatenate(
+                    ([current], np.asarray(draws, dtype=np.int64))
+                )
+                seq = filled[np.cumsum(switch)]
+                current = int(seq[-1])
+            else:
+                seq = np.zeros(size, dtype=np.int64)
+            budgets = np.maximum(
+                4, control_rng.geometric(1.0 / visit_means[seq])
+            ).astype(np.int64)
+            comp_chunks.append(seq)
+            budget_chunks.append(budgets)
+            total += int(budgets.sum())
+            block = max(256, block // 4)
+
+        comp_seq = np.concatenate(comp_chunks)
+        budget_seq = np.concatenate(budget_chunks)
+        cum = np.cumsum(budget_seq)
+        n_visits = int(np.searchsorted(cum, n_instructions, side="left")) + 1
+        comp_seq = comp_seq[:n_visits]
+        budget_seq = budget_seq[:n_visits].copy()
+        budget_seq[-1] -= int(cum[n_visits - 1]) - n_instructions
+        return comp_seq, budget_seq
 
     # -- vectorized assembly ----------------------------------------------
 
     def _assemble(
         self,
-        starts: list[int],
-        lengths: list[int],
-        run_components: list[int],
+        starts,
+        lengths,
+        run_components,
         root: np.random.Generator,
     ) -> Trace:
         """Expand runs into per-reference columns and weave in data refs."""

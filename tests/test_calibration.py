@@ -4,6 +4,12 @@ The shipped workload definitions were calibrated against the paper's
 Table 4 (see ``tools/calibrate.py``).  These tests pin that calibration:
 if a synthesizer change shifts the workload models' miss behaviour,
 they fail and the calibration must be re-run.
+
+Re-pinned for generator v2 (the batched synthesizer): the targets and
+tolerances are unchanged, but the per-workload estimator now averages
+four seeds instead of two — v2 synthesis is cheap enough that the
+tighter estimate costs nothing, and it keeps single-seed layout
+variance (the paper's Figure 5 effect) from dominating the comparison.
 """
 
 import numpy as np
@@ -11,6 +17,8 @@ import pytest
 
 from repro.caches.base import CacheGeometry
 from repro.core.metrics import measure_mpi
+from repro.experiments import figure1
+from repro.experiments.common import ExperimentSettings
 from repro.trace.rle import to_line_runs
 from repro.workloads.generator import synthesize_trace
 from repro.workloads.ibs import IBS_WORKLOADS
@@ -20,8 +28,8 @@ REFERENCE = CacheGeometry(8192, 32, 1)
 N = 300_000
 
 
-def _mpi(workload, n=N, seeds=(1, 2)):
-    """Mean MPI over a couple of seeds (individual runs vary with code
+def _mpi(workload, n=N, seeds=(1, 2, 3, 4)):
+    """Mean MPI over a few seeds (individual runs vary with code
     layout, exactly as the paper's Figure 5 documents for real runs)."""
     values = []
     for seed in seeds:
@@ -38,13 +46,13 @@ def test_ibs_workload_hits_table4_target(name):
 
 
 def test_ibs_suite_average():
-    values = [_mpi(w, n=150_000, seeds=(1, 2)) for w in IBS_WORKLOADS.values()]
+    values = [_mpi(w, n=150_000) for w in IBS_WORKLOADS.values()]
     assert float(np.mean(values)) == pytest.approx(4.79, rel=0.12)
 
 
 def test_ultrix_suite_average():
     values = [
-        _mpi(get_workload(name, "ultrix"), n=150_000, seeds=(1, 2))
+        _mpi(get_workload(name, "ultrix"), n=150_000)
         for name in IBS_WORKLOADS
     ]
     assert float(np.mean(values)) == pytest.approx(3.52, rel=0.15)
@@ -85,3 +93,27 @@ def test_line_size_sensitivity_matches_paper():
         ratios_64.append(mpi[64] / mpi[32])
     assert float(np.mean(ratios_16)) == pytest.approx(1.53, rel=0.15)
     assert float(np.mean(ratios_64)) == pytest.approx(0.69, rel=0.15)
+
+
+def test_figure1_curve_keeps_shape():
+    """The Figure 1 miss-vs-size curves must keep their shape under a
+    generator bump: monotone non-increasing in cache size, IBS above
+    SPEC at every size (the paper's headline gap), and the IBS knee —
+    the size where IBS first matches SPEC's 8 KB level — in the same
+    32 KB-or-larger band the paper reports (64 KB; at this reduced
+    trace length the compulsory floor pushes the crossing to the large
+    end, so only the lower edge is pinned)."""
+    settings = ExperimentSettings(n_instructions=100_000, seed=1)
+    result = figure1.run(settings)
+    totals = {
+        suite: [curve[size].total for size in figure1.CACHE_SIZES]
+        for suite, curve in result.curves.items()
+    }
+    for suite, curve in totals.items():
+        assert all(
+            later <= earlier
+            for earlier, later in zip(curve, curve[1:])
+        ), f"{suite} miss curve is not monotone in cache size"
+    spec, ibs = totals["spec92"], totals["ibs-mach3"]
+    assert all(i > s for i, s in zip(ibs, spec))
+    assert result.equivalent_ibs_size() >= 32 * 1024

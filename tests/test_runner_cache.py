@@ -184,6 +184,31 @@ class TestInventory:
         cache.store_line_runs(runs, params, N, SEED)
         assert cache.entries()[0].artifacts == 1
 
+    def test_entries_report_generator_version(self, tmp_path, params, trace):
+        from repro.workloads.generator import GENERATOR_VERSION
+
+        cache = TraceDiskCache(tmp_path)
+        cache.store(trace, params, N, SEED)
+        info = cache.entries()[0]
+        assert info.generator_version == GENERATOR_VERSION
+        assert info.to_dict()["generator_version"] == GENERATOR_VERSION
+
+    def test_pre_versioned_entries_report_v1(self, tmp_path, params, trace):
+        """Entries written before ``entry.json`` carried the field are
+        all from the v1 synthesizer and must be reported as such."""
+        import json as jsonlib
+        import os
+
+        cache = TraceDiskCache(tmp_path)
+        entry = cache.store(trace, params, N, SEED)
+        meta_path = os.path.join(entry, "entry.json")
+        with open(meta_path) as handle:
+            meta = jsonlib.load(handle)
+        meta.pop("generator_version")
+        with open(meta_path, "w") as handle:
+            jsonlib.dump(meta, handle)
+        assert cache.entries()[0].generator_version == 1
+
 
 class TestEnvironment:
     def test_unset_means_disabled(self, monkeypatch):
@@ -226,3 +251,22 @@ class TestRegistryIntegration:
     def test_disabled_backend_still_works(self):
         trace = get_trace("gcc", "mach3", N, seed=SEED)
         assert get_trace("gcc", "mach3", N, seed=SEED) is trace
+
+    def test_cache_observer_sees_each_outcome(self, tmp_path):
+        """One synthesis, one memory hit, one disk hit — in that order."""
+        events = []
+        registry.add_trace_cache_observer(events.append)
+        try:
+            set_trace_cache_backend(TraceDiskCache(tmp_path))
+            clear_trace_cache()
+            get_trace("gcc", "mach3", N, seed=SEED)
+            get_trace("gcc", "mach3", N, seed=SEED)
+            clear_trace_cache()
+            get_trace("gcc", "mach3", N, seed=SEED)
+        finally:
+            registry.remove_trace_cache_observer(events.append)
+        assert events == [
+            registry.TRACE_CACHE_SYNTHESIZED,
+            registry.TRACE_CACHE_MEMORY_HIT,
+            registry.TRACE_CACHE_DISK_HIT,
+        ]

@@ -179,6 +179,39 @@ class TestEndToEnd:
 
         asyncio.run(body())
 
+    def test_trace_cache_and_synthesis_observability(self, tmp_path):
+        """A cold evaluate shows up as a synthesized trace-cache lookup,
+        a synthesis-phase latency observation, and the cache-size gauges
+        on ``/metrics``."""
+        from repro.workloads.registry import clear_trace_cache
+
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                clear_trace_cache()
+                status, _ = await _json_request(
+                    served.port, "POST", "/v1/evaluate",
+                    {"workload": "gcc", "instructions": 20_000, "wait": True},
+                )
+                assert status == 200
+                metrics = served.app.metrics
+                assert metrics.counter_value(
+                    "trace_cache_lookups_total", {"result": "synthesized"}
+                ) >= 1
+                histograms = metrics.to_dict()["histograms"]
+                synthesis = [
+                    series
+                    for series in histograms.get("phase_seconds", [])
+                    if series["labels"].get("phase") == "synthesize"
+                ]
+                assert synthesis and synthesis[0]["count"] >= 1
+                _, text = await _request(served.port, "GET", "/metrics")
+                assert b"repro_trace_cache_lookups_total" in text
+                assert b"repro_trace_cache_entries" in text
+                assert b"repro_line_order_cache_entries" in text
+                assert b"repro_line_order_cache_bytes" in text
+
+        asyncio.run(body())
+
     def test_metrics_json_format(self, tmp_path):
         async def body():
             async with _Server(tmp_path / "results") as served:
