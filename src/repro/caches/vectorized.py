@@ -100,6 +100,67 @@ class LineOrderCache:
             ),
         )
 
+    def miss_masks(
+        self, shapes: list[tuple[int, int]]
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Memoized miss masks for many cache shapes in one pass.
+
+        ``shapes`` are ``(n_sets, associativity)`` pairs in
+        :func:`miss_mask_set_associative`'s convention (fully
+        associative passes capacity with associativity 0).  Shapes
+        sharing a stack-distance grouping — the same set count, or any
+        fully-associative capacity — derive from one shared distance
+        array, cheetah-style: a reference misses a shape iff its
+        group-local stack distance reaches the shape's ways (or is a
+        first touch), so one pass over the stream prices every
+        associativity at that set count at once.  A set count requested
+        only direct-mapped keeps the cheaper sort-based path.  Each
+        mask lands under its standard memo key, so later
+        :meth:`miss_mask` calls for the same shape are hits.
+        """
+        unique = list(dict.fromkeys((int(n), int(a)) for n, a in shapes))
+        out: dict[tuple[int, int], np.ndarray] = {}
+        # distance grouping (set count; 1 = whole stream) -> members as
+        # (shape, miss threshold in group-local stack distance)
+        groups: dict[int, list[tuple[tuple[int, int], int]]] = {}
+        for shape in unique:
+            n_sets, associativity = shape
+            cached = self._memo.get(("miss-mask", n_sets, associativity))
+            if cached is not None:
+                out[shape] = cached
+            elif associativity == 0:
+                groups.setdefault(1, []).append((shape, n_sets))
+            else:
+                groups.setdefault(n_sets, []).append((shape, associativity))
+        for group_sets, members in groups.items():
+            if group_sets > 1 and all(t == 1 for _, t in members):
+                for shape, _ in members:
+                    out[shape] = self.miss_mask(*shape)
+                continue
+            distances = self.stack_distances(group_sets)
+            for shape, threshold in members:
+                out[shape] = self.memo(
+                    ("miss-mask",) + shape,
+                    lambda d=distances, t=threshold: (d < 0) | (d >= t),
+                )
+        return out
+
+    def by_line(self) -> np.ndarray:
+        """Memoized stable argsort of the stream by line number.
+
+        The one full sort every stack-distance grouping shares: a line
+        maps to exactly one set at any set count, so a grouped stream's
+        by-line order is this global order re-indexed through the
+        grouping permutation (two O(n) gathers) instead of a fresh
+        O(n log n) sort per set count.
+        """
+        def compute() -> np.ndarray:
+            order = np.argsort(self.lines, kind="stable")
+            order.setflags(write=False)  # shared between callers
+            return order
+
+        return self.memo(("by-line",), compute)
+
     def order(self, n_sets: int) -> np.ndarray:
         """Stable argsort of the stream grouped by ``n_sets``-set index."""
         order = self._orders.get(n_sets)
@@ -135,9 +196,21 @@ class LineOrderCache:
         (and, for ``n_sets == 1``, every capacity) of a sweep.
         """
         def compute() -> np.ndarray:
-            distances = _grouped_stack_distances(
-                self.lines, self.order(n_sets) if n_sets > 1 else None
-            )
+            by_line = self.by_line()
+            if n_sets > 1:
+                order = self.order(n_sets)
+                # A line belongs to one set, so the grouped stream's
+                # stable by-line order is the global one re-indexed
+                # through the grouping permutation — no second sort.
+                inverse = np.empty(len(order), dtype=by_line.dtype)
+                inverse[order] = np.arange(len(order), dtype=by_line.dtype)
+                distances = _grouped_stack_distances(
+                    self.lines, order, inverse[by_line]
+                )
+            else:
+                distances = _grouped_stack_distances(
+                    self.lines, None, by_line
+                )
             distances.setflags(write=False)  # shared between callers
             return distances
 
@@ -167,6 +240,7 @@ _ORDER_CACHE_MAX_BYTES = 1 << 30
 _order_caches: dict[int, LineOrderCache] = {}
 _order_cache_max_entries = _ORDER_CACHE_CAPACITY
 _order_cache_max_bytes = _ORDER_CACHE_MAX_BYTES
+_order_cache_evictions = 0
 
 
 def _enforce_order_cache_budget() -> None:
@@ -176,12 +250,14 @@ def _enforce_order_cache_budget() -> None:
     may legitimately exceed the byte budget on their own, and evicting
     them would only force an immediate recompute.
     """
+    global _order_cache_evictions
     while len(_order_caches) > 1 and (
         len(_order_caches) > _order_cache_max_entries
         or sum(c.memo_bytes for c in _order_caches.values())
         > _order_cache_max_bytes
     ):
         del _order_caches[next(iter(_order_caches))]
+        _order_cache_evictions += 1
 
 
 def line_order_cache(lines: np.ndarray) -> LineOrderCache:
@@ -224,14 +300,18 @@ def configure_order_cache(
 
 
 def order_cache_stats() -> dict[str, int]:
-    """Entry count, memoized bytes, and bounds of the shared registry.
+    """Entry count, memoized bytes, evictions, and registry bounds.
 
-    The serving tier exports these as gauges so operators can watch the
-    memo instead of discovering it through process growth.
+    ``evictions`` counts process-lifetime budget evictions — a rising
+    rate means streams are cycling through the memo faster than sweeps
+    reuse them.  The serving tier exports all of these as gauges (and
+    ``repro cache info`` prints them) so operators can watch the memo
+    instead of discovering it through process growth.
     """
     return {
         "entries": len(_order_caches),
         "bytes": sum(c.memo_bytes for c in _order_caches.values()),
+        "evictions": _order_cache_evictions,
         "max_entries": _order_cache_max_entries,
         "max_bytes": _order_cache_max_bytes,
     }
@@ -239,7 +319,9 @@ def order_cache_stats() -> dict[str, int]:
 
 def clear_order_caches() -> None:
     """Drop all memoized sort orders (tests use this for isolation)."""
+    global _order_cache_evictions
     _order_caches.clear()
+    _order_cache_evictions = 0
 
 
 def miss_mask_direct_mapped(
@@ -329,14 +411,19 @@ def lru_stack_distances(lines: np.ndarray) -> np.ndarray:
 
 
 def _grouped_stack_distances(
-    lines: np.ndarray, order: np.ndarray | None
+    lines: np.ndarray,
+    order: np.ndarray | None,
+    by_line: np.ndarray | None = None,
 ) -> np.ndarray:
     """Exact per-reference stack distances within each group of ``order``.
 
     ``order`` is a stable grouping permutation (e.g. by cache set); the
     distance of a reference is then computed within its group's
-    substream only.  ``None`` means one global group.  Returns distances
-    in original trace order, ``-1`` for group-local first touches.
+    substream only.  ``None`` means one global group.  ``by_line``, if
+    given, must be the stable by-line argsort of the *grouped* stream
+    (:meth:`LineOrderCache.by_line` derives it once per line array).
+    Returns distances in original trace order, ``-1`` for group-local
+    first touches.
     """
     n = len(lines)
     distances = np.full(n, -1, dtype=np.int64)
@@ -346,7 +433,8 @@ def _grouped_stack_distances(
     # Previous/next same-line occurrence within the (grouped) stream,
     # via one stable argsort.  A line maps to exactly one group, so
     # same-line adjacency in the sorted view never crosses groups.
-    by_line = np.argsort(stream, kind="stable")
+    if by_line is None:
+        by_line = np.argsort(stream, kind="stable")
     sorted_lines = stream[by_line]
     repeat = np.zeros(n, dtype=bool)
     repeat[1:] = sorted_lines[1:] == sorted_lines[:-1]

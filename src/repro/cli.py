@@ -29,6 +29,7 @@ import json
 import sys
 
 from repro import package_version
+from repro.caches.vectorized import order_cache_stats
 from repro.core.config import MemorySystemConfig
 from repro.core.study import ENGINES, MECHANISMS, evaluate
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
@@ -137,24 +138,40 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _print_order_cache(order: dict) -> None:
+    """Text rendering of the in-process line-order memo stats."""
+    print("\nline-order memo (in-process):")
+    print(f"  entries: {order['entries']} (max {order['max_entries']})")
+    print(f"  bytes: {order['bytes']:,} (max {order['max_bytes']:,})")
+    print(f"  evictions: {order['evictions']}")
+
+
 def _cmd_cache(args) -> int:
+    # The on-disk trace cache persists across runs; the line-order memo
+    # (stack-distance/miss-mask arrays) is in-process and reported here
+    # so one command answers both "what is cached" questions.
+    order = order_cache_stats()
     backend = trace_cache_backend()
     if backend is None:
         if getattr(args, "json", False):
             print(json.dumps({"root": None, "entries": [], "error":
-                              "no cache configured"}))
+                              "no cache configured",
+                              "order_cache": order}))
         else:
             print(
                 "no cache configured; set --cache-dir or the "
                 f"{CACHE_DIR_ENV} environment variable"
             )
+            _print_order_cache(order)
         return 0 if args.action == "info" else 2
     if args.action == "clear":
         removed = backend.clear()
         print(f"cleared {removed} entries from {backend.root}")
         return 0
     if args.json:
-        print(json.dumps(backend.describe(), indent=2, sort_keys=True))
+        record = dict(backend.describe())
+        record["order_cache"] = order
+        print(json.dumps(record, indent=2, sort_keys=True))
         return 0
     entries = backend.entries()
     total = sum(info.bytes for info in entries)
@@ -171,6 +188,7 @@ def _cmd_cache(args) -> int:
                 f"{info.bytes:>12,} B  "
                 f"{info.artifacts} line-run artifact(s)"
             )
+    _print_order_cache(order)
     return 0
 
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.config import MemorySystemConfig
 from repro.core.metrics import DEFAULT_WARMUP_FRACTION, measure_mpi
-from repro.fetch import vectorized
+from repro.fetch import dispatch, vectorized
 from repro.fetch.bypass import PrefetchBypassEngine
 from repro.fetch.engine import DemandFetchEngine, FetchEngine, FetchResult
 from repro.fetch.markov import MarkovPrefetchEngine
@@ -144,6 +144,7 @@ def fetch_result(
         )
     with timing.phase(timing.PHASE_SIMULATE):
         if use_vectorized:
+            dispatch.record(mechanism, dispatch.ENGINE_VECTORIZED)
             return vectorized.run_vectorized(
                 runs,
                 config.l1,
@@ -152,6 +153,7 @@ def fetch_result(
                 warmup_fraction,
                 **options,
             )
+        dispatch.record(mechanism, dispatch.ENGINE_REFERENCE)
         return make_engine(config, mechanism, **options).run(
             runs, warmup_fraction
         )

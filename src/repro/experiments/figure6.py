@@ -142,10 +142,17 @@ def run(
     line_sizes: tuple[int, ...] = LINE_SIZES,
     suite: str = "ibs-mach3",
 ) -> Figure6Result:
-    """Reproduce Figure 6's bandwidth x line-size sweep."""
-    cells_out: dict[tuple[int, int], float] = {}
-    for line_size in line_sizes:
-        cells_out.update(
-            _sweep_line_size(line_size, bandwidths, suite, settings)
-        )
-    return Figure6Result(cells=cells_out)
+    """Reproduce Figure 6's bandwidth x line-size sweep.
+
+    The whole grid goes through one planner call, so the geometry axis
+    is batched per workload (one trace walk per line size) — the
+    per-line-size :func:`cells` decomposition exists for the pool
+    runner and merges to bit-identical values.
+    """
+    points = [
+        point
+        for line_size in line_sizes
+        for point in _line_size_points(line_size, bandwidths)
+    ]
+    swept = sweep_fetch_cpi(suite, points, settings)
+    return Figure6Result(cells={key: l1 for key, (l1, _l2) in swept.items()})

@@ -1,11 +1,15 @@
 """Instruction-fetch timing models and mechanisms.
 
 This subpackage turns miss behaviour into cycles: the latency/bandwidth
-interface model of the paper's Table 5, and the four L1-L2 interface
-mechanisms of Section 5.2 — demand fetch, sequential prefetch-on-miss,
-prefetch with bypass buffers, and a pipelined memory system with stream
-buffers.  All mechanisms are driven by run-length-encoded instruction
-streams and account stall cycles to produce CPIinstr.
+interface model of the paper's Table 5, and the L1-L2 interface
+mechanisms of Section 5.2 — demand fetch, sequential and tagged
+prefetch-on-miss, prefetch with bypass buffers, a pipelined memory
+system with stream buffers, victim caches, and markov prefetching.
+All mechanisms are driven by run-length-encoded instruction streams and
+account stall cycles to produce CPIinstr; every one has both a
+reference per-run engine and a vectorized closed-form kernel
+(:mod:`repro.fetch.vectorized`) pinned bit-identical by the
+differential tests.
 """
 
 from repro.fetch.timing import MemoryTiming, ECONOMY_MEMORY, HIGH_PERF_MEMORY, L1_L2_INTERFACE
@@ -17,7 +21,12 @@ from repro.fetch.victim import VictimCacheEngine
 from repro.fetch.markov import MarkovPrefetchEngine
 from repro.fetch.twolevel import TwoLevelDemandEngine, TwoLevelResult
 from repro.fetch.branch import BranchTargetBuffer, BranchResult
-from repro.fetch.vectorized import VECTORIZED_MECHANISMS, run_vectorized, supports
+from repro.fetch.vectorized import (
+    VECTORIZED_MECHANISMS,
+    run_vectorized,
+    supports,
+    unsupported_reason,
+)
 
 __all__ = [
     "MemoryTiming",
@@ -39,4 +48,5 @@ __all__ = [
     "VECTORIZED_MECHANISMS",
     "run_vectorized",
     "supports",
+    "unsupported_reason",
 ]

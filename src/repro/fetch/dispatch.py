@@ -1,0 +1,131 @@
+"""Engine-dispatch accounting for the fetch-timing paths.
+
+``engine="auto"`` silently picks between the vectorized kernels and the
+reference engines per (mechanism, geometry, options) cell.  That silence
+is exactly how coverage regressions hide: a kernel that stops matching a
+sweep's shape quietly turns a numpy pass into a per-run Python loop and
+the only symptom is wall-clock.  This module counts every dispatch
+decision so the serving tier can export
+``repro_engine_dispatch_total{mechanism,engine}`` counters and the
+``--timing-out`` report can show per-engine counts next to the phase
+timings.
+
+The design mirrors :mod:`repro.runner.timing`: a thread-local
+accumulator the pool runner snapshots per experiment cell, plus
+process-wide observers for live metrics; worker-process counts are
+replayed into the parent through :func:`notify`.  Like ``timing``, this
+module imports nothing from the rest of the library so any layer can use
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Mapping
+
+#: Engine labels recorded at the dispatch point.
+ENGINE_VECTORIZED = "vectorized"
+ENGINE_REFERENCE = "reference"
+
+_state = threading.local()
+_lock = threading.Lock()
+
+#: Process-lifetime totals: (mechanism, engine) -> dispatch count.
+_totals: dict[tuple[str, str], int] = {}
+
+#: Process-wide observers (the serving layer's live metrics feed).
+_observers: list[Callable[[str, str, int], None]] = []
+
+
+def _counts() -> dict[tuple[str, str], int]:
+    counts = getattr(_state, "counts", None)
+    if counts is None:
+        counts = _state.counts = {}
+    return counts
+
+
+def record(mechanism: str, engine: str, count: int = 1) -> None:
+    """Count one dispatch of ``mechanism`` to ``engine``.
+
+    Accumulates on this thread (for per-cell reports), in the process
+    totals (for tests and diagnostics), and through the observers (for
+    live service metrics).
+    """
+    key = (mechanism, engine)
+    counts = _counts()
+    counts[key] = counts.get(key, 0) + count
+    with _lock:
+        _totals[key] = _totals.get(key, 0) + count
+    for observer in list(_observers):
+        observer(mechanism, engine, count)
+
+
+def snapshot(reset: bool = False) -> dict[tuple[str, str], int]:
+    """The accumulated dispatch counts on this thread (a copy)."""
+    counts = dict(_counts())
+    if reset:
+        _counts().clear()
+    return counts
+
+
+def reset() -> None:
+    """Zero this thread's dispatch accumulator."""
+    _counts().clear()
+
+
+def totals() -> dict[tuple[str, str], int]:
+    """Process-lifetime dispatch counts (a copy)."""
+    with _lock:
+        return dict(_totals)
+
+
+def reset_totals() -> None:
+    """Zero the process totals (tests use this for isolation)."""
+    with _lock:
+        _totals.clear()
+
+
+def add_observer(observer: Callable[[str, str, int], None]) -> None:
+    """Register ``observer(mechanism, engine, count)`` on every dispatch.
+
+    Observers must be cheap and must not raise.
+    """
+    if observer not in _observers:
+        _observers.append(observer)
+
+
+def remove_observer(observer: Callable[[str, str, int], None]) -> None:
+    """Unregister an observer installed by :func:`add_observer`."""
+    try:
+        _observers.remove(observer)
+    except ValueError:
+        pass
+
+
+def notify(counts: Mapping[tuple[str, str], int]) -> None:
+    """Replay an already-accumulated count record into this process.
+
+    The pool runner uses this to merge dispatch decisions made inside
+    worker *processes* (whose totals and observers are their own) into
+    the parent's totals and observers, so ``/metrics`` sees one stream
+    regardless of ``--jobs``.
+    """
+    for (mechanism, engine), count in counts.items():
+        if count:
+            with _lock:
+                _totals[(mechanism, engine)] = (
+                    _totals.get((mechanism, engine), 0) + count
+                )
+            for observer in list(_observers):
+                observer(mechanism, engine, count)
+
+
+def as_report(counts: Mapping[tuple[str, str], int]) -> dict[str, dict[str, int]]:
+    """Nest ``(mechanism, engine)`` counts as ``{engine: {mechanism: n}}``.
+
+    The JSON shape used by timing reports; deterministic key order.
+    """
+    nested: dict[str, dict[str, int]] = {}
+    for (mechanism, engine) in sorted(counts):
+        nested.setdefault(engine, {})[mechanism] = counts[(mechanism, engine)]
+    return nested

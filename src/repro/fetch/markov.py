@@ -21,6 +21,8 @@ predicted successor, the classic combination.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.caches.base import CacheGeometry
 from repro.fetch.engine import FetchEngine
 from repro.fetch.timing import MemoryTiming
@@ -111,3 +113,153 @@ class MarkovPrefetchEngine(FetchEngine):
         while len(self._buffer) >= self.n_buffers:
             del self._buffer[next(iter(self._buffer))]
         self._buffer[line] = arrival
+
+
+def markov_trace_events(
+    lines: np.ndarray,
+    n_sets: int,
+    ways: int,
+    table_size: int,
+    n_buffers: int,
+    hybrid: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Timing-independent replay of the Markov-prefetch state machine.
+
+    Nothing in the engine's cache, correlation-table, or buffer
+    *membership* updates reads the clock — arrival cycles are stored but
+    only ever become stall cycles — so one replay over the line stream
+    yields the sparse event structure every timing point shares.  For
+    each cache-miss event: its run index, whether it was a full miss
+    (vs. a prefetch-buffer hit), and for buffer hits which earlier event
+    issued the prefetch (``source``) and at what queue position
+    (``offset``, the engine's back-to-back issue slot).  The buffer
+    hit's arrival is then ``now(source) + fill_penalty + offset + 1``
+    for any timing, which is what the vectorized kernel replays.
+    """
+    set_mask = n_sets - 1
+    sets_state: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+    table: dict[int, int] = {}
+    buffer: dict[int, tuple[int, int]] = {}  # line -> (event, offset)
+    last_miss: int | None = None
+
+    event_run: list[int] = []
+    event_is_miss: list[bool] = []
+    event_source: list[int] = []
+    event_offset: list[int] = []
+
+    for i, line in enumerate(lines.tolist()):
+        cache_set = sets_state[line & set_mask]
+        if line in cache_set:
+            # contains_line: a pure hit never touches replacement state.
+            continue
+        entry = buffer.pop(line, None)
+        event = len(event_run)
+        event_run.append(i)
+        if entry is None:
+            event_is_miss.append(True)
+            event_source.append(-1)
+            event_offset.append(0)
+        else:
+            event_is_miss.append(False)
+            event_source.append(entry[0])
+            event_offset.append(entry[1])
+        # install_line (insert-if-absent; the line just missed, so insert)
+        if len(cache_set) >= ways:
+            del cache_set[next(iter(cache_set))]
+        cache_set[line] = None
+        # _learn: record the (previous miss -> this miss) correlation.
+        if last_miss is not None and last_miss != line:
+            if last_miss in table:
+                del table[last_miss]
+            elif len(table) >= table_size:
+                del table[next(iter(table))]
+            table[last_miss] = line
+        last_miss = line
+        # _predict: queue the successor(s) at back-to-back issue slots.
+        targets = []
+        predicted = table.get(line)
+        if predicted is not None:
+            targets.append(predicted)
+        if hybrid:
+            targets.append(line + 1)
+        for offset, target in enumerate(targets):
+            if target in sets_state[target & set_mask] or target in buffer:
+                continue
+            while len(buffer) >= n_buffers:  # _insert
+                del buffer[next(iter(buffer))]
+            buffer[target] = (event, offset)
+    return (
+        np.asarray(event_run, dtype=np.int64),
+        np.asarray(event_is_miss, dtype=bool),
+        np.asarray(event_source, dtype=np.int64),
+        np.asarray(event_offset, dtype=np.int64),
+    )
+
+
+def markov_trace_events_direct(
+    lines: np.ndarray,
+    positions: np.ndarray,
+    n_sets: int,
+    table_size: int,
+    n_buffers: int,
+    hybrid: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`markov_trace_events` for direct-mapped caches, sparsely.
+
+    A 1-way set installs on every cache miss and never touches
+    replacement state on a hit — exactly a demand-fetch cache — so the
+    cache-miss ``positions`` are the (memoized) demand miss mask and
+    the table/buffer state machine only needs to walk those events,
+    with the cache itself a flat array of resident line numbers.
+    """
+    set_mask = n_sets - 1
+    resident = [-1] * n_sets
+    table: dict[int, int] = {}
+    buffer: dict[int, tuple[int, int]] = {}  # line -> (event, offset)
+    last_miss: int | None = None
+
+    n_events = len(positions)
+    event_is_miss: list[bool] = []
+    event_source: list[int] = []
+    event_offset: list[int] = []
+
+    for event, line in enumerate(lines[positions].tolist()):
+        entry = buffer.pop(line, None)
+        if entry is None:
+            event_is_miss.append(True)
+            event_source.append(-1)
+            event_offset.append(0)
+        else:
+            event_is_miss.append(False)
+            event_source.append(entry[0])
+            event_offset.append(entry[1])
+        # install_line: the one resident way is simply replaced.
+        resident[line & set_mask] = line
+        # _learn: record the (previous miss -> this miss) correlation.
+        if last_miss is not None and last_miss != line:
+            if last_miss in table:
+                del table[last_miss]
+            elif len(table) >= table_size:
+                del table[next(iter(table))]
+            table[last_miss] = line
+        last_miss = line
+        # _predict: queue the successor(s) at back-to-back issue slots.
+        predicted = table.get(line)
+        if predicted is not None:
+            targets = [predicted, line + 1] if hybrid else [predicted]
+        elif hybrid:
+            targets = [line + 1]
+        else:
+            continue
+        for offset, target in enumerate(targets):
+            if resident[target & set_mask] == target or target in buffer:
+                continue
+            while len(buffer) >= n_buffers:  # _insert
+                del buffer[next(iter(buffer))]
+            buffer[target] = (event, offset)
+    return (
+        np.asarray(positions, dtype=np.int64).reshape(n_events),
+        np.asarray(event_is_miss, dtype=bool),
+        np.asarray(event_source, dtype=np.int64),
+        np.asarray(event_offset, dtype=np.int64),
+    )

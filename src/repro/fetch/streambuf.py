@@ -10,14 +10,20 @@
 
 Model (following the paper's description and Table 8 caption):
 
-* The L1 line size equals the per-cycle transfer bandwidth, so a line
-  arrives ``latency`` cycles after its request and the pipelined L2
-  accepts one request per cycle.
+* In the paper's Table 8 configuration the L1 line size equals the
+  per-cycle transfer bandwidth, so a line arrives ``latency`` cycles
+  after its request and the pipelined L2 accepts one request per cycle.
+  The model generalizes to mismatched widths: a line occupies the
+  interface for ``beats = ceil(line_size / bytes_per_cycle)`` cycles,
+  so the pipelined L2 accepts a new request every ``beats`` cycles and
+  a line arrives ``latency + beats - 1`` cycles after its request
+  (``fill_penalty``).  ``beats == 1`` is exactly the paper's case.
 * The stream buffer is fully associative and dual-ported, holding up to
   N lines, looked up in parallel with the I-cache.
 * On a miss in both: outstanding prefetches are cancelled, the missing
-  line is requested (stall = latency), and in the following N cycles
-  the next N sequential lines are requested into the stream buffer.
+  line is requested (stall = ``fill_penalty``, i.e. ``latency`` in the
+  matched case), and in the following ``N * beats`` cycles the next N
+  sequential lines are requested into the stream buffer.
 * On a stream-buffer hit: the line moves into the I-cache with no
   penalty if it has arrived, else the processor stalls for the
   remaining flight time.  ("Some implementations may incur a 1 cycle
@@ -49,17 +55,15 @@ class StreamBufferEngine(FetchEngine):
         super().__init__(geometry, timing)
         if n_lines < 0:
             raise ValueError(f"n_lines must be >= 0, got {n_lines}")
-        if geometry.line_size != timing.bytes_per_cycle:
-            raise ValueError(
-                "the pipelined model requires line size == bytes/cycle "
-                f"(got {geometry.line_size} B lines, "
-                f"{timing.bytes_per_cycle} B/cycle); see Table 8"
-            )
         if move_penalty < 0:
             raise ValueError(f"move_penalty must be >= 0, got {move_penalty}")
         self.n_lines = n_lines
         self.refill_on_use = refill_on_use
         self.move_penalty = move_penalty
+        # Interface occupancy of one line; the pipelined L2 accepts a
+        # new request every `beats` cycles (1 in Table 8's matched case).
+        self._beats = -(-geometry.line_size // timing.bytes_per_cycle)
+        self._fill = timing.fill_penalty(geometry.line_size)
         # line -> arrival cycle.  Insertion-ordered: oldest first.
         self._buffer: dict[int, int] = {}
         self._next_prefetch_line = -1
@@ -84,19 +88,22 @@ class StreamBufferEngine(FetchEngine):
         # be evicted before the restart completes.
         buffer = self._buffer
         buffer.clear()
-        stall = self.timing.latency
-        first_arrival = now + 1 + self.timing.latency
+        beats = self._beats
+        stall = self._fill
+        first_arrival = now + beats + self._fill
         for i in range(self.n_lines):
-            # Request i issues i+1 cycles after the miss request.
-            buffer[line + 1 + i] = first_arrival + i
+            # Request i issues (i+1)*beats cycles after the miss request
+            # (the interface is occupied `beats` cycles per line) and
+            # its line lands `fill_penalty` cycles after issue.
+            buffer[line + 1 + i] = first_arrival + i * beats
         self._next_prefetch_line = line + 1 + self.n_lines
-        self._last_issue_cycle = now + self.n_lines
+        self._last_issue_cycle = now + self.n_lines * beats
         return stall, True
 
     def _issue_prefetch(self, now: int) -> None:
         """Extend the stream by one line (refill-on-use enhancement)."""
-        issue = max(now, self._last_issue_cycle + 1)
-        self._insert(self._next_prefetch_line, issue + self.timing.latency)
+        issue = max(now, self._last_issue_cycle + self._beats)
+        self._insert(self._next_prefetch_line, issue + self._fill)
         self._next_prefetch_line += 1
         self._last_issue_cycle = issue
 

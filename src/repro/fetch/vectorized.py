@@ -14,24 +14,33 @@ arithmetic, without stepping a Python object per line run:
 
 * **demand** / **prefetch** — the stall per counted miss is a constant
   (``fill_penalty``), so the result is closed-form in the miss mask.
-* **tagged** — the cache/tag-bit state machine is timing-independent,
-  so one replay captures the sparse event structure (misses and
-  first-uses of prefetched lines) and each timing point replays only
-  the events.
+* **victim** — the swap/miss classification never reads the clock, so
+  one memoized replay yields two masks and every timing point is
+  closed-form in the two counts.
+* **tagged** / **markov** — the cache/table/buffer state machines are
+  timing-independent, so one replay captures the sparse event structure
+  (misses and first-uses of prefetched lines) and each timing point
+  replays only the events.
 * **prefetch+bypass** / **stream-buffer** — stalls depend on inter-miss
   gaps, so the kernels walk *miss events* (plus the few runs inside a
-  refill burst window) instead of every run.
+  refill burst window) instead of every run.  Associative and
+  wrap-around bypass geometries, whose cache state depends on the
+  timing point, get an exact per-timing replay instead of the memoized
+  miss mask.
 
 Every kernel is bit-identical to its reference engine — the same
 ``(instructions, stall_cycles, misses)`` on any stream — which the
 differential tests in ``tests/test_fetch_vectorized.py`` pin across a
-grid of timings and geometries.  Mechanisms or shapes the kernels do
-not cover (victim, markov, associative bypass caches) report
-``supports() == False`` and the ``engine="auto"`` path falls back to
-the reference engines.
+grid of timings and geometries.  Every mechanism and geometry of the
+Figure 6/7 and Table 6 grids is covered; :func:`unsupported_reason`
+names anything that is not (unknown mechanisms, reference-only
+options), and the ``engine="auto"`` path falls back to the reference
+engines for those.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
 
 import numpy as np
 
@@ -39,10 +48,17 @@ from repro.caches.base import CacheGeometry
 from repro.caches.vectorized import LineOrderCache, line_order_cache
 from repro.core.metrics import DEFAULT_WARMUP_FRACTION, warmup_cut
 from repro.fetch.engine import FetchResult
+from repro.fetch.markov import markov_trace_events, markov_trace_events_direct
 from repro.fetch.timing import MemoryTiming
+from repro.fetch.victim import victim_classify
 from repro.trace.rle import LineRuns
 
-__all__ = ["VECTORIZED_MECHANISMS", "supports", "run_vectorized"]
+__all__ = [
+    "VECTORIZED_MECHANISMS",
+    "supports",
+    "unsupported_reason",
+    "run_vectorized",
+]
 
 #: Mechanisms the kernels reproduce bit-identically (geometry permitting).
 VECTORIZED_MECHANISMS = (
@@ -51,6 +67,8 @@ VECTORIZED_MECHANISMS = (
     "tagged",
     "prefetch+bypass",
     "stream-buffer",
+    "victim",
+    "markov",
 )
 
 #: Options each mechanism's kernel understands; anything else means the
@@ -61,10 +79,42 @@ _MECHANISM_OPTIONS = {
     "tagged": frozenset(),
     "prefetch+bypass": frozenset({"n_prefetch"}),
     "stream-buffer": frozenset({"n_lines", "refill_on_use", "move_penalty"}),
+    "victim": frozenset({"n_victims", "swap_penalty"}),
+    "markov": frozenset({"table_size", "n_buffers", "hybrid"}),
 }
 
 #: Mirror of :class:`TaggedPrefetchEngine`'s in-flight bookkeeping bound.
 _TAGGED_BOOKKEEPING = 64
+
+
+def unsupported_reason(
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    mechanism: str,
+    options: dict | None = None,
+) -> str | None:
+    """Why the vectorized kernels do not cover this exact simulation.
+
+    ``None`` means covered.  A reason is a *routing* answer, not an
+    error: ``engine="auto"`` falls back to the reference engines for
+    anything not covered, and ``engine="vectorized"`` surfaces the
+    reason in its :class:`ValueError` so callers know what to change.
+    """
+    allowed = _MECHANISM_OPTIONS.get(mechanism)
+    if allowed is None:
+        return (
+            f"mechanism {mechanism!r} has no vectorized kernel "
+            f"(covered: {', '.join(VECTORIZED_MECHANISMS)})"
+        )
+    options = options or {}
+    unknown = sorted(set(options) - allowed)
+    if unknown:
+        return (
+            f"option(s) {', '.join(map(repr, unknown))} of mechanism "
+            f"{mechanism!r} are not understood by its vectorized kernel "
+            f"(known: {', '.join(sorted(allowed)) or 'none'})"
+        )
+    return None
 
 
 def supports(
@@ -75,29 +125,10 @@ def supports(
 ) -> bool:
     """Whether the vectorized kernels cover this exact simulation.
 
-    ``False`` is a *routing* answer, not an error: ``engine="auto"``
-    falls back to the reference engines for anything not covered.
+    Every mechanism and geometry of the paper grids is covered; see
+    :func:`unsupported_reason` for what is not and why.
     """
-    allowed = _MECHANISM_OPTIONS.get(mechanism)
-    if allowed is None:
-        return False
-    options = options or {}
-    if not set(options) <= allowed:
-        return False
-    if mechanism == "prefetch+bypass":
-        # Buffer hits bypass the cache's LRU update, so for associative
-        # caches the replacement state depends on the timing point; and
-        # a burst whose prefetches wrap around the index must not evict
-        # its own miss line.  Both cases go to the reference engine.
-        n_prefetch = options.get("n_prefetch", 0)
-        return (
-            geometry.associativity == 1
-            and isinstance(n_prefetch, int)
-            and geometry.n_sets > n_prefetch
-        )
-    if mechanism == "stream-buffer":
-        return geometry.line_size == timing.bytes_per_cycle
-    return True
+    return unsupported_reason(geometry, timing, mechanism, options) is None
 
 
 def run_vectorized(
@@ -120,11 +151,13 @@ def run_vectorized(
             f"an engine with {geometry.line_size} B lines; "
             "re-encode with to_line_runs()"
         )
-    if not supports(geometry, timing, mechanism, options):
+    reason = unsupported_reason(geometry, timing, mechanism, options)
+    if reason is not None:
         raise ValueError(
-            f"mechanism {mechanism!r} with options {sorted(options)} on "
-            f"{geometry.describe()} is not covered by the vectorized "
-            "kernels; use engine='reference'"
+            f"engine='vectorized' cannot run mechanism {mechanism!r} "
+            f"with options {{{', '.join(sorted(options))}}} on "
+            f"{geometry.describe()}: {reason}; "
+            "use engine='reference' or engine='auto'"
         )
     cut, instructions = warmup_cut(runs, warmup_fraction)
     if mechanism == "demand":
@@ -142,6 +175,27 @@ def run_vectorized(
         n_prefetch = _check_depth(options.get("n_prefetch", 0))
         return _bypass_result(
             runs, geometry, timing, n_prefetch, cut, instructions
+        )
+    if mechanism == "victim":
+        return _victim_result(
+            runs,
+            geometry,
+            timing,
+            options.get("n_victims", 4),
+            options.get("swap_penalty", 1),
+            cut,
+            instructions,
+        )
+    if mechanism == "markov":
+        return _markov_result(
+            runs,
+            geometry,
+            timing,
+            options.get("table_size", 1024),
+            options.get("n_buffers", 4),
+            bool(options.get("hybrid", False)),
+            cut,
+            instructions,
         )
     # supports() admitted it, so this is the stream buffer.
     n_lines = options.get("n_lines", 6)
@@ -361,6 +415,137 @@ def _tagged_result(
     )
 
 
+# -- victim caching ----------------------------------------------------
+
+
+def _victim_result(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    n_victims: int,
+    swap_penalty: int,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    """Closed-form victim-cache result from memoized swap/miss masks.
+
+    :func:`~repro.fetch.victim.victim_classify` replays the
+    timing-independent state machine once per (stream, shape, depth);
+    every timing point is then two mask sums.
+    """
+    if geometry.associativity != 1:
+        # Mirror VictimCacheEngine's constructor contract exactly.
+        raise ValueError(
+            "a victim cache assists a direct-mapped primary; got "
+            f"{geometry.associativity}-way"
+        )
+    if n_victims < 1:
+        raise ValueError(f"n_victims must be >= 1, got {n_victims}")
+    if swap_penalty < 0:
+        raise ValueError(f"swap_penalty must be >= 0, got {swap_penalty}")
+    cache = line_order_cache(runs.lines)
+    victim_hits, miss_mask = cache.memo(
+        ("victim-state", geometry.n_sets, n_victims),
+        lambda: victim_classify(cache.lines, geometry.n_sets, n_victims),
+    )
+    swaps = int(victim_hits[cut:].sum())
+    misses = int(miss_mask[cut:].sum())
+    penalty = timing.fill_penalty(geometry.line_size)
+    return FetchResult(
+        instructions=instructions,
+        stall_cycles=swaps * swap_penalty + misses * penalty,
+        misses=misses,
+    )
+
+
+# -- markov (miss-correlation) prefetching -----------------------------
+
+
+def _markov_result(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    table_size: int,
+    n_buffers: int,
+    hybrid: bool,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    """Sparse event replay of the Markov-prefetch engine.
+
+    :func:`~repro.fetch.markov.markov_trace_events` captures the
+    timing-independent event structure once per (stream, shape, table,
+    buffers); each timing point walks only the cache-miss events,
+    resolving every buffer hit's arrival from the cycle its issuing
+    event ran at.
+    """
+    if table_size < 1:
+        raise ValueError(f"table_size must be >= 1, got {table_size}")
+    if n_buffers < 1:
+        raise ValueError(f"n_buffers must be >= 1, got {n_buffers}")
+    cache = line_order_cache(runs.lines)
+
+    def compute() -> tuple[np.ndarray, ...]:
+        if geometry.ways == 1:
+            # Direct-mapped: the cache-miss events are the (memoized,
+            # sweep-shared) demand miss mask, so the state machine only
+            # walks the misses.
+            mask = _demand_mask(runs, geometry)
+            positions = _miss_positions(cache, _mask_shape(geometry), mask)
+            return markov_trace_events_direct(
+                cache.lines, positions, geometry.n_sets,
+                table_size, n_buffers, hybrid,
+            )
+        return markov_trace_events(
+            cache.lines,
+            geometry.n_sets,
+            geometry.ways,
+            table_size,
+            n_buffers,
+            hybrid,
+        )
+
+    event_run, is_miss, source, offset = cache.memo(
+        (
+            "markov-state",
+            geometry.n_sets,
+            geometry.ways,
+            table_size,
+            n_buffers,
+            hybrid,
+        ),
+        compute,
+    )
+    penalty = timing.fill_penalty(geometry.line_size)
+    base = (_run_starts(runs)[event_run]).tolist()
+    run_index = event_run.tolist()
+    is_miss = is_miss.tolist()
+    source = source.tolist()
+    offset = offset.tolist()
+    nows = [0] * len(run_index)
+    extra = 0
+    stalls = 0
+    misses = 0
+    for event, now0 in enumerate(base):
+        now = now0 + extra
+        nows[event] = now
+        if is_miss[event]:
+            stall = penalty
+        else:
+            # The prefetch issued when its source event ran, queued at
+            # back-to-back slot `offset` behind the source's own refill.
+            arrival = nows[source[event]] + penalty + offset[event] + 1
+            stall = arrival - now if arrival > now else 0
+        if run_index[event] >= cut:
+            stalls += stall
+            if is_miss[event]:
+                misses += 1
+        extra += stall
+    return FetchResult(
+        instructions=instructions, stall_cycles=stalls, misses=misses
+    )
+
+
 # -- prefetch with bypass buffers --------------------------------------
 
 
@@ -374,11 +559,19 @@ def _bypass_result(
 ) -> FetchResult:
     """Sparse replay of the bypass engine over miss events.
 
-    Cache contents match sequential prefetch-on-miss exactly (the
-    direct-mapped restriction in :func:`supports` guarantees it), so
-    the memoized prefetch mask gives the miss sequence and this kernel
-    only walks the few runs inside each refill burst window.
+    On direct-mapped geometries with no index wrap-around, cache
+    contents match sequential prefetch-on-miss exactly, so the memoized
+    prefetch mask gives the miss sequence and this kernel only walks
+    the few runs inside each refill burst window.  Associative caches
+    (buffer hits skip the LRU update, so replacement state depends on
+    the timing point) and bursts that wrap the index (a prefetch can
+    evict its own burst's lines, making in-window buffer hits diverge
+    from any timing-free mask) take the exact per-timing replay.
     """
+    if geometry.associativity != 1 or geometry.n_sets <= n_prefetch:
+        return _bypass_replay_result(
+            runs, geometry, timing, n_prefetch, cut, instructions
+        )
     cache = line_order_cache(runs.lines)
     mask = _prefetch_mask(runs, geometry, n_prefetch)
     positions = _miss_positions(
@@ -417,19 +610,20 @@ def _bypass_result(
                 stalls += stall
             extra += stall
             busy_until = now + burst
+            # The buffers hold the contiguous burst [line, line + N]:
+            # membership and arrival are arithmetic off the base line.
             base_line = int(lines[i])
-            buffer_ready = {
-                base_line + d: now + fills[d] for d in range(n_prefetch + 1)
-            }
+            base_at = now
             j = i + 1
             chained = False
             while j < n_runs:
                 now_j = int(starts[j]) + extra
                 if now_j > busy_until:
                     break
-                ready = buffer_ready.get(int(lines[j]))
-                if ready is not None:
+                d = int(lines[j]) - base_line
+                if 0 <= d <= n_prefetch:
                     # Fetching from a bypass buffer: wait for the line.
+                    ready = base_at + fills[d]
                     wait = ready - now_j if ready > now_j else 0
                 elif not mask[j]:
                     # Resident elsewhere: wait out the whole refill.
@@ -453,7 +647,177 @@ def _bypass_result(
                 break
         # Everything before run j is accounted; hits outside a busy
         # window are free, so jump straight to the next miss.
-        k = int(np.searchsorted(positions, j))
+        k = bisect_left(position_list, j)
+    return FetchResult(instructions, stalls, misses)
+
+
+def _bypass_replay_result(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    n_prefetch: int,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    """Exact per-timing replay of the bypass engine (hard geometries).
+
+    For associative caches and index-wrapping bursts the cache state
+    itself depends on *when* each run executes (in-window buffer hits
+    skip the LRU touch), so no timing-independent mask exists.  This
+    replay mirrors :class:`PrefetchBypassEngine` run-for-run on plain
+    dicts — covering the corners the sparse kernel cannot, at reference
+    asymptotics but without the per-run object machinery.  Direct-mapped
+    wrap-around geometries take a flat-array specialization: a 1-way
+    set's LRU refresh is a no-op, so hits never mutate state and each
+    set reduces to a single resident line number.
+    """
+    if geometry.associativity == 1:
+        return _bypass_replay_direct(
+            runs, geometry, timing, n_prefetch, cut, instructions
+        )
+    n_sets = geometry.n_sets
+    ways = geometry.ways
+    set_mask = n_sets - 1
+    sets_state: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+    latency = timing.latency
+    bandwidth = timing.bytes_per_cycle
+    line_size = geometry.line_size
+    burst = timing.fill_penalty(line_size * (n_prefetch + 1))
+    fills = [
+        timing.fill_penalty(line_size * (d + 1)) for d in range(n_prefetch + 1)
+    ]
+
+    # The buffers hold the contiguous burst [base_line, base_line + N]:
+    # membership and arrival are arithmetic off the base line (only
+    # consulted inside a busy window, i.e. after at least one miss).
+    base_line = 0
+    base_at = 0
+    busy_until = -1
+    now = 0
+    stalls = 0
+    misses = 0
+    lines = runs.lines.tolist()
+    counts = runs.counts.tolist()
+    offsets = runs.first_offsets.tolist()
+    for i, line in enumerate(lines):
+        missed = False
+        wait = 0
+        bypassed = False
+        if now <= busy_until:
+            d = line - base_line
+            if 0 <= d <= n_prefetch:
+                # Fetching from a bypass buffer: no cache access at all.
+                ready = base_at + fills[d]
+                stall = ready - now if ready > now else 0
+                bypassed = True
+            else:
+                # Not in the buffers: wait out the refill, then demand.
+                wait = busy_until - now + 1
+        if not bypassed:
+            at = now + wait
+            cache_set = sets_state[line & set_mask]
+            if line in cache_set:
+                del cache_set[line]
+                cache_set[line] = None  # access_line: LRU refresh
+                stall = wait
+            else:
+                missed = True
+                if len(cache_set) >= ways:
+                    del cache_set[next(iter(cache_set))]
+                cache_set[line] = None
+                # Resume as soon as the missing word arrives.
+                stall = wait + latency + offsets[i] // bandwidth
+                base_line = line
+                base_at = at
+                for distance in range(1, n_prefetch + 1):
+                    prefetched = line + distance
+                    # install_line: insert-if-absent, no LRU touch.
+                    target = sets_state[prefetched & set_mask]
+                    if prefetched not in target:
+                        if len(target) >= ways:
+                            del target[next(iter(target))]
+                        target[prefetched] = None
+                busy_until = at + burst
+        if i >= cut:
+            stalls += stall
+            if missed:
+                misses += 1
+        now += stall + counts[i]
+    return FetchResult(instructions, stalls, misses)
+
+
+def _bypass_replay_direct(
+    runs: LineRuns,
+    geometry: CacheGeometry,
+    timing: MemoryTiming,
+    n_prefetch: int,
+    cut: int,
+    instructions: int,
+) -> FetchResult:
+    """Exact bypass replay for direct-mapped wrap-around geometries.
+
+    With one way per set a hit's LRU refresh is a no-op and each set is
+    a single resident line number, so the cache collapses to a flat
+    array and only misses mutate state.  Install order matches the
+    engine (demand line first, then prefetch distances ascending) so
+    bursts that wrap the index evict exactly the same lines.
+    """
+    set_mask = geometry.n_sets - 1
+    resident = [-1] * geometry.n_sets
+    latency = timing.latency
+    bandwidth = timing.bytes_per_cycle
+    line_size = geometry.line_size
+    burst = timing.fill_penalty(line_size * (n_prefetch + 1))
+    fills = [
+        timing.fill_penalty(line_size * (d + 1)) for d in range(n_prefetch + 1)
+    ]
+    # The buffers hold the contiguous burst [base_line, base_line + N]:
+    # membership and arrival are arithmetic off the base line (only
+    # consulted inside a busy window, i.e. after at least one miss).
+    base_line = 0
+    base_at = 0
+    busy_until = -1
+    now = 0
+    stalls = 0
+    misses = 0
+    lines = runs.lines.tolist()
+    counts = runs.counts.tolist()
+    offsets = runs.first_offsets.tolist()
+    for i, line in enumerate(lines):
+        if now <= busy_until:
+            d = line - base_line
+            if 0 <= d <= n_prefetch:
+                # Fetching from a bypass buffer: no cache access at all.
+                ready = base_at + fills[d]
+                stall = ready - now if ready > now else 0
+                if i >= cut:
+                    stalls += stall
+                now += stall + counts[i]
+                continue
+            # Not in the buffers: wait out the refill, then demand.
+            wait = busy_until - now + 1
+        else:
+            wait = 0
+        if resident[line & set_mask] == line:
+            stall = wait
+        else:
+            at = now + wait
+            stall = wait + latency + offsets[i] // bandwidth
+            resident[line & set_mask] = line
+            base_line = line
+            base_at = at
+            for distance in range(1, n_prefetch + 1):
+                prefetched = line + distance
+                resident[prefetched & set_mask] = prefetched
+            busy_until = at + burst
+            if i >= cut:
+                stalls += stall
+                misses += 1
+            now += stall + counts[i]
+            continue
+        if i >= cut:
+            stalls += stall
+        now += stall + counts[i]
     return FetchResult(instructions, stalls, misses)
 
 
@@ -487,7 +851,10 @@ def _stream_buffer_result(
     event_base = starts[positions].tolist()
     event_lines = runs.lines[positions].tolist()
     position_list = positions.tolist()
-    latency = timing.latency
+    # Interface occupancy of one line: the pipelined L2 accepts a new
+    # request every `beats` cycles (1 in Table 8's matched case).
+    beats = -(-geometry.line_size // timing.bytes_per_cycle)
+    fill = timing.fill_penalty(geometry.line_size)
 
     buffer: dict[int, int] = {}  # line -> arrival cycle, oldest first
     next_prefetch = -1
@@ -504,24 +871,24 @@ def _stream_buffer_result(
             missed = False
             if refill_on_use and n_lines > 0:
                 # Extend the stream by one line (refill-on-use).
-                issue = now if now > last_issue + 1 else last_issue + 1
+                issue = now if now > last_issue + beats else last_issue + beats
                 if next_prefetch in buffer:
                     del buffer[next_prefetch]
                 while len(buffer) >= n_lines:
                     del buffer[next(iter(buffer))]
-                buffer[next_prefetch] = issue + latency
+                buffer[next_prefetch] = issue + fill
                 next_prefetch += 1
                 last_issue = issue
         else:
             # Miss in both: the restarted stream's n_lines requests are
             # exactly the buffer's capacity, so they define its content.
             buffer.clear()
-            first_arrival = now + 1 + latency
+            first_arrival = now + beats + fill
             for distance in range(n_lines):
-                buffer[line + 1 + distance] = first_arrival + distance
+                buffer[line + 1 + distance] = first_arrival + distance * beats
             next_prefetch = line + 1 + n_lines
-            last_issue = now + n_lines
-            stall = latency
+            last_issue = now + n_lines * beats
+            stall = fill
             missed = True
         if p >= cut:
             stalls += stall

@@ -14,6 +14,8 @@ as an extension study (``experiments.ext_conflict``).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro._util.lru import LruSet
 from repro.caches.base import CacheGeometry
 from repro.fetch.engine import FetchEngine
@@ -64,3 +66,44 @@ class VictimCacheEngine(FetchEngine):
         if displaced is not None:
             self._victims.touch(displaced)
         return self._penalty, True
+
+
+def victim_classify(
+    lines: np.ndarray, n_sets: int, n_victims: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classify every reference of a run stream against this mechanism.
+
+    The state machine above never reads the clock — arrival times only
+    ever become stall cycles — so one replay over the line stream fully
+    determines which runs hit the primary, which swap from the victim
+    cache, and which go to the next level.  Returns ``(victim_hits,
+    misses)`` boolean masks; everything else is a primary hit.  The
+    vectorized kernel memoizes this per (stream, n_sets, n_victims) and
+    derives every timing point's stalls closed-form from the two counts.
+    """
+    n = len(lines)
+    victim_hits = np.zeros(n, dtype=bool)
+    misses = np.zeros(n, dtype=bool)
+    set_mask = n_sets - 1
+    resident: dict[int, int] = {}  # set index -> resident line
+    victims: dict[int, None] = {}  # insertion-ordered, oldest first
+    for i, line in enumerate(lines.tolist()):
+        set_index = line & set_mask
+        displaced = resident.get(set_index)
+        if displaced == line:
+            continue
+        resident[set_index] = line
+        if line in victims:  # LruSet.discard
+            del victims[line]
+            victim_hits[i] = True
+        else:
+            misses[i] = True
+        if displaced is not None:  # LruSet.touch on the displaced line
+            if displaced in victims:
+                del victims[displaced]
+            elif len(victims) >= n_victims:
+                del victims[next(iter(victims))]
+            victims[displaced] = None
+    victim_hits.setflags(write=False)
+    misses.setflags(write=False)
+    return victim_hits, misses

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import multiprocessing
 
+from repro.fetch import dispatch
 from repro.runner import timing
 from repro.runner.timing import CellTiming, TimingReport
 
@@ -86,8 +87,9 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _execute_cell(key: tuple, fn: Callable, args: tuple):
-    """Run one cell under a fresh phase accumulator (worker side)."""
+    """Run one cell under fresh phase/dispatch accumulators (worker side)."""
     timing.reset()
+    dispatch.reset()
     start = time.perf_counter()
     try:
         result = fn(*args)
@@ -97,7 +99,10 @@ def _execute_cell(key: tuple, fn: Callable, args: tuple):
         raise CellExecutionError(key, f"{type(exc).__name__}: {exc}") from exc
     wall = time.perf_counter() - start
     cell_timing = CellTiming(
-        key=key, wall_seconds=wall, phases=timing.snapshot(reset=True)
+        key=key,
+        wall_seconds=wall,
+        phases=timing.snapshot(reset=True),
+        dispatch=dispatch.snapshot(reset=True),
     )
     return result, cell_timing
 
@@ -161,11 +166,13 @@ def run_cells(
                 pool.submit(_execute_cell, c.key, c.fn, c.args) for c in cells
             ]
             outcomes = [future.result() for future in futures]
-        # Workers accumulate phases in their own processes; replay them
-        # so parent-side phase observers (live service metrics) see the
-        # same stream a serial run produces.
+        # Workers accumulate phases and dispatch counts in their own
+        # processes; replay them so parent-side observers and totals
+        # (live service metrics) see the same stream a serial run
+        # produces.
         for _, cell_timing in outcomes:
             timing.notify_phases(cell_timing.phases)
+            dispatch.notify(cell_timing.dispatch)
     results = [result for result, _ in outcomes]
     timings = [cell_timing for _, cell_timing in outcomes]
     return results, timings

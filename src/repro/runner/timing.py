@@ -131,6 +131,21 @@ def reset() -> None:
     del _frames()[:]
 
 
+def _nest_dispatch(
+    counts: Mapping[tuple[str, str], int]
+) -> dict[str, dict[str, int]]:
+    """``(mechanism, engine)`` counts as ``{engine: {mechanism: n}}``.
+
+    The JSON shape of dispatch counts in timing reports.  Local rather
+    than shared with :mod:`repro.fetch.dispatch` because this module
+    must not import library code (see the module docstring).
+    """
+    nested: dict[str, dict[str, int]] = {}
+    for mechanism, engine in sorted(counts):
+        nested.setdefault(engine, {})[mechanism] = counts[(mechanism, engine)]
+    return nested
+
+
 @dataclass(frozen=True)
 class CellTiming:
     """Wall-clock accounting of one experiment cell.
@@ -140,17 +155,23 @@ class CellTiming:
         wall_seconds: total wall time of the cell.
         phases: seconds per instrumented phase inside the cell; the
             remainder (``wall - sum(phases)``) is uninstrumented glue.
+        dispatch: fetch-engine dispatch decisions made inside the cell
+            as ``(mechanism, engine) -> count`` (see
+            :mod:`repro.fetch.dispatch`) — how often the vectorized
+            kernels ran versus the reference fallback.
     """
 
     key: tuple
     wall_seconds: float
     phases: dict[str, float] = field(default_factory=dict)
+    dispatch: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
             "key": list(self.key),
             "wall_seconds": self.wall_seconds,
             "phases": dict(self.phases),
+            "engine_dispatch": _nest_dispatch(self.dispatch),
         }
 
 
@@ -179,12 +200,27 @@ class TimingReport:
                 totals[name] = totals.get(name, 0.0) + seconds
         return totals
 
+    @property
+    def dispatch_totals(self) -> dict[tuple[str, str], int]:
+        """Engine-dispatch counts summed over all cells.
+
+        A nonzero reference count for a mechanism the vectorized
+        kernels claim to cover is a coverage regression — visible here
+        without waiting for the wall-clock to say so.
+        """
+        totals: dict[tuple[str, str], int] = {}
+        for cell in self.cells:
+            for key, count in cell.dispatch.items():
+                totals[key] = totals.get(key, 0) + count
+        return totals
+
     def to_dict(self) -> dict:
         return {
             "label": self.label,
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
             "phase_totals": self.phase_totals,
+            "engine_dispatch": _nest_dispatch(self.dispatch_totals),
             "cells": [cell.to_dict() for cell in self.cells],
         }
 

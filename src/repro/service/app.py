@@ -177,6 +177,9 @@ class ServiceApp:
         order = order_cache_stats()
         self.metrics.set_gauge("line_order_cache_entries", order["entries"])
         self.metrics.set_gauge("line_order_cache_bytes", order["bytes"])
+        self.metrics.set_gauge(
+            "line_order_cache_evictions", order["evictions"]
+        )
         if request.query.get("format") == "json":
             return Response.from_json(self.metrics.to_dict())
         return Response.from_text(

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.core.config import MemorySystemConfig
 from repro.core.study import evaluate_trace
+from repro.fetch import dispatch
 from repro.experiments.common import (
     ExperimentSettings,
     canonical_job_key,
@@ -259,6 +260,18 @@ class JobScheduler:
             "trace_cache_lookups_total", {"result": event}
         )
         registry.add_trace_cache_observer(self._trace_cache_observer)
+        # Engine-dispatch counters: every fetch simulation records which
+        # engine ran it (vectorized kernel vs. reference fallback), so a
+        # coverage regression shows up in /metrics as reference-engine
+        # traffic rather than as an unexplained latency increase.
+        self._dispatch_observer = lambda mechanism, engine, count: (
+            self.metrics.inc(
+                "engine_dispatch_total",
+                {"mechanism": mechanism, "engine": engine},
+                count,
+            )
+        )
+        dispatch.add_observer(self._dispatch_observer)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -266,6 +279,7 @@ class JobScheduler:
         """Detach from the timing feed and stop the worker threads."""
         timing.remove_phase_observer(self._phase_observer)
         registry.remove_trace_cache_observer(self._trace_cache_observer)
+        dispatch.remove_observer(self._dispatch_observer)
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     # -- introspection -------------------------------------------------

@@ -254,3 +254,66 @@ class TestLineOrderCache:
         assert np.array_equal(first, second)
         seq = _sequential_mask(lines, 64, 1)
         assert np.array_equal(first, seq)
+
+
+class TestMultiGeometryMasks:
+    """miss_masks(): many geometries priced from shared stack distances."""
+
+    def shapes(self):
+        # Direct-mapped, set-associative (several ways per set count),
+        # and fully-associative shapes, deliberately mixed.
+        return [(64, 1), (64, 2), (64, 4), (32, 1), (16, 8), (256, 0)]
+
+    def test_matches_single_shape_masks(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = _random_lines()
+        masks = line_order_cache(lines).miss_masks(self.shapes())
+        assert set(masks) == set(self.shapes())
+        for shape, mask in masks.items():
+            n_sets, ways = shape
+            expected = (
+                miss_mask_fully_associative(lines, n_sets)
+                if ways == 0
+                else miss_mask_set_associative(lines, n_sets, ways)
+            )
+            assert np.array_equal(mask, expected), shape
+
+    def test_masks_land_in_the_memo(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = _random_lines(seed=3)
+        cache = line_order_cache(lines)
+        batched = cache.miss_masks(self.shapes())
+        for shape, mask in batched.items():
+            assert cache.miss_mask(*shape) is mask
+
+    def test_empty_stream(self):
+        from repro.caches.vectorized import clear_order_caches, line_order_cache
+
+        clear_order_caches()
+        lines = np.array([], dtype=np.uint64)
+        masks = line_order_cache(lines).miss_masks([(8, 1), (4, 2)])
+        assert all(mask.shape == (0,) for mask in masks.values())
+
+    def test_eviction_counter_exposed(self):
+        from repro.caches.vectorized import (
+            _ORDER_CACHE_CAPACITY,
+            clear_order_caches,
+            line_order_cache,
+            order_cache_stats,
+        )
+
+        clear_order_caches()
+        assert order_cache_stats()["evictions"] == 0
+        for i in range(_ORDER_CACHE_CAPACITY + 3):
+            line_order_cache(_random_lines(n=64, seed=100 + i))
+        stats = order_cache_stats()
+        assert stats["evictions"] >= 3
+        assert set(stats) == {
+            "entries", "bytes", "evictions", "max_entries", "max_bytes",
+        }
+        clear_order_caches()
+        assert order_cache_stats()["evictions"] == 0

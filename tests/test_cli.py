@@ -118,7 +118,12 @@ class TestCacheAndJobsCli:
 
     def test_cache_info_unconfigured(self, capsys):
         assert main(["cache", "info"]) == 0
-        assert "no cache configured" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "no cache configured" in out
+        # The in-process line-order memo is reported even without a
+        # disk backend.
+        assert "line-order memo" in out
+        assert "evictions:" in out
 
     def test_cache_clear_unconfigured(self, capsys):
         assert main(["cache", "clear"]) == 2
@@ -158,6 +163,12 @@ class TestCacheAndJobsCli:
         assert record["root"] == cache_dir
         assert record["entry_count"] == 22
         assert record["total_bytes"] > 0
+        order = record["order_cache"]
+        assert set(order) == {
+            "entries", "bytes", "evictions", "max_entries", "max_bytes",
+        }
+        # The experiment that just ran left memoized sort orders behind.
+        assert order["entries"] > 0
         entry = record["entries"][0]
         assert {"name", "os", "n_instructions", "seed", "bytes",
                 "artifacts", "path"} <= set(entry)

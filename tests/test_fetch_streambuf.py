@@ -17,9 +17,40 @@ def _runs(addresses, line_size=16):
 
 
 class TestStreamBuffer:
-    def test_line_size_must_match_bandwidth(self):
-        with pytest.raises(ValueError, match="line size"):
-            StreamBufferEngine(CacheGeometry(1024, 32, 1), TIMING)
+    def test_wide_line_miss_costs_fill_penalty(self):
+        # 32 B lines over a 16 B/cycle port: a demand miss pays the
+        # full two-beat fill, latency + ceil(32/16) - 1 = 7 cycles.
+        engine = StreamBufferEngine(
+            CacheGeometry(1024, 32, 1), TIMING, n_lines=0
+        )
+        result = engine.run(_runs([0], line_size=32), warmup_fraction=0.0)
+        assert result.stall_cycles == TIMING.latency + 2 - 1
+
+    def test_wide_line_prefetch_pipeline_spacing(self):
+        # Same mismatched geometry with prefetching: the buffer's lines
+        # arrive one per *two* cycles (one per beat group), so line 1 is
+        # ready at cycle (2 beats) + fill 7 = 9.  Consuming the eight
+        # 4 B instructions of line 0 takes 8 cycles after the 7-cycle
+        # miss, so the hit on line 1 at cycle 15 never stalls.
+        engine = StreamBufferEngine(
+            CacheGeometry(1024, 32, 1), TIMING, n_lines=2
+        )
+        addresses = list(range(0, 64, 4))  # lines 0 and 1, 8 refs each
+        result = engine.run(_runs(addresses, line_size=32),
+                            warmup_fraction=0.0)
+        assert result.misses == 1
+        assert result.stall_cycles == 7
+
+    def test_wide_line_buffer_hit_waits_for_arrival(self):
+        # Jump to the prefetched line immediately: it arrives at cycle
+        # 9 but the processor wants it at cycle 8 — a one-cycle stall.
+        engine = StreamBufferEngine(
+            CacheGeometry(1024, 32, 1), TIMING, n_lines=2
+        )
+        result = engine.run(_runs([0, 32], line_size=32),
+                            warmup_fraction=0.0)
+        assert result.misses == 1
+        assert result.stall_cycles == 7 + 1
 
     def test_miss_costs_latency_only(self):
         engine = StreamBufferEngine(GEOMETRY, TIMING, n_lines=0)

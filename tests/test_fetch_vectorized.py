@@ -10,6 +10,8 @@ kernels without changing a single rendered digit.
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
@@ -31,6 +33,7 @@ from repro.fetch import (
     VECTORIZED_MECHANISMS,
     run_vectorized,
     supports,
+    unsupported_reason,
 )
 from repro.trace.rle import LineRuns, to_line_runs
 
@@ -62,6 +65,12 @@ OPTION_GRID = {
         {"n_lines": 4, "refill_on_use": True},
         {"n_lines": 6, "move_penalty": 1},
     ),
+    "victim": ({}, {"n_victims": 2}, {"n_victims": 8, "swap_penalty": 0}),
+    "markov": (
+        {},
+        {"table_size": 64},
+        {"n_buffers": 2, "hybrid": True},
+    ),
 }
 
 
@@ -71,9 +80,18 @@ def reference_result(runs, geometry, timing, mechanism, warmup=0.3, **options):
 
 
 def assert_identical(runs, geometry, timing, mechanism, warmup=0.3, **options):
-    ref = reference_result(
-        runs, geometry, timing, mechanism, warmup, **options
-    )
+    try:
+        ref = reference_result(
+            runs, geometry, timing, mechanism, warmup, **options
+        )
+    except ValueError as exc:
+        # The reference engine rejects the combination outright (e.g. a
+        # victim cache behind an associative primary); the kernel must
+        # reject it with the same message.
+        with pytest.raises(ValueError, match=re.escape(str(exc))):
+            run_vectorized(runs, geometry, timing, mechanism, warmup,
+                           **options)
+        return
     vec = run_vectorized(
         runs, geometry, timing, mechanism, warmup, **options
     )
@@ -141,8 +159,7 @@ class TestWarmupEdgeCases:
     @pytest.mark.parametrize("mechanism", VECTORIZED_MECHANISMS)
     def test_miss_on_warmup_boundary(self, mechanism):
         # One cache line: every run misses, including the run exactly at
-        # the warmup cut.  Line size must equal bytes/cycle so the grid
-        # includes the stream buffer.
+        # the warmup cut.
         geometry = CacheGeometry(32, 32, 1)
         timing = MemoryTiming(latency=5, bytes_per_cycle=32)
         addresses = np.repeat(
@@ -163,57 +180,69 @@ class TestWarmupEdgeCases:
 class TestSupports:
     GEOMETRY = CacheGeometry(8192, 32, 1)
 
-    def test_covered_mechanisms(self):
+    def test_whole_grid_covered(self):
+        """Every (mechanism, geometry, timing) of the paper grids."""
         for mechanism in VECTORIZED_MECHANISMS:
-            if mechanism == "stream-buffer":
-                continue
-            assert supports(self.GEOMETRY, ECONOMY_MEMORY, mechanism)
+            for geometry in GEOMETRIES:
+                for timing in TIMINGS:
+                    assert supports(geometry, timing, mechanism), (
+                        mechanism, geometry, timing,
+                    )
 
-    def test_uncovered_mechanisms(self):
-        for mechanism in ("victim", "markov", "no-such-thing"):
-            assert not supports(self.GEOMETRY, ECONOMY_MEMORY, mechanism)
+    def test_formerly_uncovered_corners_now_supported(self):
+        # Each of these used to route to the reference engines.
+        assert supports(self.GEOMETRY, ECONOMY_MEMORY, "victim")
+        assert supports(self.GEOMETRY, ECONOMY_MEMORY, "markov")
+        # Associative prefetch+bypass.
+        assert supports(
+            CacheGeometry(8192, 32, 2), ECONOMY_MEMORY, "prefetch+bypass"
+        )
+        # Wrap-around burst: two sets, burst of three lines.
+        tiny = CacheGeometry(64, 32, 1)
+        assert supports(tiny, ECONOMY_MEMORY, "prefetch+bypass",
+                        {"n_prefetch": 2})
+        # Stream buffer over a narrower (and a wider) transfer width.
+        assert supports(self.GEOMETRY, L1_L2_INTERFACE, "stream-buffer")
+        assert supports(self.GEOMETRY, MemoryTiming(8, 64), "stream-buffer")
+
+    def test_unknown_mechanism_refused_with_reason(self):
+        assert not supports(self.GEOMETRY, ECONOMY_MEMORY, "no-such-thing")
+        reason = unsupported_reason(
+            self.GEOMETRY, ECONOMY_MEMORY, "no-such-thing"
+        )
+        assert "no-such-thing" in reason
+        assert "no vectorized kernel" in reason
 
     def test_unknown_option_defers_to_reference(self):
         assert not supports(
             self.GEOMETRY, ECONOMY_MEMORY, "demand", {"n_prefetch": 1}
         )
-
-    def test_bypass_needs_direct_mapped(self):
-        assert supports(self.GEOMETRY, ECONOMY_MEMORY, "prefetch+bypass")
-        assert not supports(
-            CacheGeometry(8192, 32, 2), ECONOMY_MEMORY, "prefetch+bypass"
+        reason = unsupported_reason(
+            self.GEOMETRY, ECONOMY_MEMORY, "demand", {"n_prefetch": 1}
         )
-
-    def test_bypass_needs_room_for_the_burst(self):
-        tiny = CacheGeometry(64, 32, 1)  # two sets
-        assert supports(tiny, ECONOMY_MEMORY, "prefetch+bypass",
-                        {"n_prefetch": 1})
-        assert not supports(tiny, ECONOMY_MEMORY, "prefetch+bypass",
-                            {"n_prefetch": 2})
-
-    def test_stream_buffer_needs_matched_transfer(self):
-        assert supports(
-            self.GEOMETRY, MemoryTiming(6, 32), "stream-buffer"
-        )
-        assert not supports(self.GEOMETRY, L1_L2_INTERFACE, "stream-buffer")
+        assert "'n_prefetch'" in reason
+        assert "'demand'" in reason
 
     def test_line_size_mismatch_raises(self, runs_by_line_size):
         runs = runs_by_line_size[32]
         with pytest.raises(ValueError, match="32 B lines"):
             run_vectorized(runs, CacheGeometry(4096, 64, 1), ECONOMY_MEMORY)
 
-    def test_unsupported_combination_raises(self, runs_by_line_size):
+    def test_unsupported_raise_names_the_combination(self, runs_by_line_size):
+        """The forced-engine error identifies mechanism, option, geometry."""
         runs = runs_by_line_size[32]
-        with pytest.raises(ValueError):
-            run_vectorized(runs, self.GEOMETRY, ECONOMY_MEMORY, "victim")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             run_vectorized(
-                runs, CacheGeometry(8192, 32, 2), ECONOMY_MEMORY,
-                "prefetch+bypass",
+                runs, self.GEOMETRY, ECONOMY_MEMORY, "demand", n_prefetch=1
             )
-        with pytest.raises(ValueError):
+        message = str(excinfo.value)
+        assert "'demand'" in message
+        assert "n_prefetch" in message
+        assert self.GEOMETRY.describe() in message
+        assert "engine='reference'" in message
+        with pytest.raises(ValueError, match="no vectorized kernel"):
             run_vectorized(
-                runs, self.GEOMETRY, L1_L2_INTERFACE, "stream-buffer"
+                runs, self.GEOMETRY, ECONOMY_MEMORY, "no-such-thing"
             )
 
 
@@ -233,28 +262,36 @@ class TestEngineKnob:
 
     def test_explicit_engines_agree(self, runs_by_line_size):
         runs = runs_by_line_size[32]
-        for mechanism in ("demand", "prefetch", "tagged", "prefetch+bypass"):
+        for mechanism in VECTORIZED_MECHANISMS:
             results = [
                 fetch_result(runs, self.CONFIG, mechanism, engine=engine)
                 for engine in ENGINES
             ]
             assert results[0] == results[1] == results[2], mechanism
 
-    def test_vectorized_raises_where_reference_only(self, runs_by_line_size):
+    def test_vectorized_runs_formerly_reference_only(self, runs_by_line_size):
+        """victim / associative bypass now run under engine="vectorized"."""
         runs = runs_by_line_size[32]
-        with pytest.raises(ValueError):
-            fetch_result(runs, self.CONFIG, "victim", engine="vectorized")
+        forced = fetch_result(runs, self.CONFIG, "victim", engine="vectorized")
+        assert forced == fetch_result(
+            runs, self.CONFIG, "victim", engine="reference"
+        )
         assoc = MemorySystemConfig(
             name="assoc", l1=CacheGeometry(8192, 32, 2), memory=ECONOMY_MEMORY
         )
-        with pytest.raises(ValueError):
-            fetch_result(runs, assoc, "prefetch+bypass", engine="vectorized")
+        forced = fetch_result(
+            runs, assoc, "prefetch+bypass", engine="vectorized", n_prefetch=2
+        )
+        assert forced == fetch_result(
+            runs, assoc, "prefetch+bypass", engine="reference", n_prefetch=2
+        )
 
-    def test_auto_falls_back_for_reference_only(self, runs_by_line_size):
+    def test_vectorized_raises_on_unknown_options(self, runs_by_line_size):
         runs = runs_by_line_size[32]
-        auto = fetch_result(runs, self.CONFIG, "victim", engine="auto")
-        ref = fetch_result(runs, self.CONFIG, "victim", engine="reference")
-        assert auto == ref
+        with pytest.raises(ValueError, match="'demand'"):
+            fetch_result(
+                runs, self.CONFIG, "demand", engine="vectorized", n_prefetch=1
+            )
 
     def test_evaluate_trace_engines_agree(self, small_trace):
         for engine in ("reference", "vectorized"):

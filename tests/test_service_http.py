@@ -209,6 +209,11 @@ class TestEndToEnd:
                 assert b"repro_trace_cache_entries" in text
                 assert b"repro_line_order_cache_entries" in text
                 assert b"repro_line_order_cache_bytes" in text
+                assert b"repro_line_order_cache_evictions" in text
+                # The evaluate's fetch simulation is dispatched to an
+                # engine, and that decision is a labelled counter.
+                assert b"repro_engine_dispatch_total" in text
+                assert b'engine="vectorized"' in text
 
         asyncio.run(body())
 

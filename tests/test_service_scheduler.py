@@ -207,3 +207,29 @@ class TestEvaluateJobs:
         assert scheduler.metrics.counter_value(
             "jobs_failed_total", {"kind": "evaluate"}) == 1
         assert scheduler.queue_depth == 0
+
+
+class TestDispatchMetrics:
+    def test_engine_dispatch_counted(self, make_scheduler):
+        """Fetch simulations land in engine_dispatch_total — and a
+        mechanism that used to fall back to the reference engines now
+        counts as vectorized (full kernel coverage)."""
+        scheduler = make_scheduler()
+
+        async def body():
+            job = await scheduler.submit_evaluate(
+                _evaluate_request(mechanism="victim")
+            )
+            await job.wait()
+            return job
+
+        job = _run(body())
+        assert job.status == "done"
+        assert scheduler.metrics.counter_value(
+            "engine_dispatch_total",
+            {"mechanism": "victim", "engine": "vectorized"},
+        ) >= 1
+        assert scheduler.metrics.counter_value(
+            "engine_dispatch_total",
+            {"mechanism": "victim", "engine": "reference"},
+        ) == 0
