@@ -37,6 +37,8 @@ import time
 from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments import figure6, figure7
+from repro.obs import tracing
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.experiments.common import (
     ExperimentSettings,
     fetch_point,
@@ -272,12 +274,35 @@ def main() -> int:
         "--min-speedup-ratio", type=float, default=0.8,
         help="fail when a speedup < ratio * its baseline's last record",
     )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR",
+        help="trace each benchmark; write run manifests here (each "
+        "trajectory record then carries its trace_id and manifest path)",
+    )
     args = parser.parse_args()
 
     names = args.benchmark or sorted(BENCHMARKS)
     records = []
     for name in names:
-        record = BENCHMARKS[name](args.instructions, args.suite, args.seed)
+        if args.obs_dir:
+            with tracing.run(name, command="bench_fetch") as recorder:
+                record = BENCHMARKS[name](
+                    args.instructions, args.suite, args.seed
+                )
+            manifest = build_manifest(
+                recorder,
+                extra={
+                    "command": "bench_fetch",
+                    "benchmark": name,
+                    "speedup": record["speedup"],
+                },
+            )
+            record["trace_id"] = manifest["trace_id"]
+            record["manifest"] = write_manifest(manifest, args.obs_dir)
+        else:
+            record = BENCHMARKS[name](
+                args.instructions, args.suite, args.seed
+            )
         records.append(record)
         print(
             f"{name} ({record['points']} points x {args.suite} "

@@ -29,6 +29,8 @@ import time
 
 import numpy as np
 
+from repro.obs import tracing
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.workloads import generator, generator_reference
 from repro.workloads.registry import get_workload
 
@@ -163,9 +165,29 @@ def main() -> int:
         "--min-speedup-ratio", type=float, default=0.8,
         help="fail when speedup < ratio * the baseline's last record",
     )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR",
+        help="trace the benchmark; write its run manifest here (the "
+        "trajectory record then carries its trace_id and manifest path)",
+    )
     args = parser.parse_args()
 
-    record = bench(args.sizes, args.seed)
+    if args.obs_dir:
+        with tracing.run("cold-synthesis", command="bench_workloads") \
+                as recorder:
+            record = bench(args.sizes, args.seed)
+        manifest = build_manifest(
+            recorder,
+            extra={
+                "command": "bench_workloads",
+                "benchmark": "cold-synthesis",
+                "speedup": record["speedup"],
+            },
+        )
+        record["trace_id"] = manifest["trace_id"]
+        record["manifest"] = write_manifest(manifest, args.obs_dir)
+    else:
+        record = bench(args.sizes, args.seed)
     print("cold synthesis, v1 reference vs v2 batched:")
     for point in record["points"]:
         print(

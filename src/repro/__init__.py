@@ -69,6 +69,25 @@ def package_version() -> str:
     except Exception:
         return __version__
 
+
+def version_info() -> dict:
+    """Package, generator, and git provenance in one record.
+
+    The full answer to "what exactly is this installation": the
+    distribution version, the trace-generator version (which keys the
+    on-disk trace cache), and the source checkout's git revision.
+    ``python -m repro --version`` and run manifests both print from it.
+    """
+    from repro.obs.manifest import git_provenance
+    from repro.workloads.generator import GENERATOR_VERSION
+
+    return {
+        "package_version": package_version(),
+        "generator_version": GENERATOR_VERSION,
+        "git": git_provenance(),
+    }
+
+
 __all__ = [
     "CpiBreakdown",
     "MemorySystemConfig",
@@ -96,5 +115,6 @@ __all__ = [
     "suite_workloads",
     "synthesize_trace",
     "package_version",
+    "version_info",
     "__version__",
 ]

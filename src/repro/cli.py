@@ -14,21 +14,29 @@ Subcommands:
   store that backs the server (``--json`` likewise).
 * ``serve`` — run the long-running HTTP/JSON simulation server
   (:mod:`repro.service`).
+* ``obs export|summary|diff`` — work with run manifests: export a
+  Perfetto-loadable chrome trace, print per-phase/per-cell/per-engine
+  rollups, or diff two runs.
 
 Global flags: ``--jobs N`` fans experiment cells over a process pool
 (results are bit-identical to serial), ``--cache-dir``/``REPRO_CACHE_DIR``
 selects the persistent trace cache, ``--no-disk-cache`` disables it,
 ``--timing-out FILE`` writes the per-cell/per-phase wall-time report as
-JSON, and ``--version`` prints the package version.
+JSON, ``--obs-dir DIR``/``REPRO_OBS_DIR`` traces the run and writes its
+manifest there, and ``--version`` prints package, generator, and git
+versions.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
-from repro import package_version
+from repro import version_info
+from repro.obs import tracing
+from repro.obs.manifest import OBS_DIR_ENV, build_manifest, write_manifest
 from repro.caches.vectorized import order_cache_stats
 from repro.core.config import MemorySystemConfig
 from repro.core.study import ENGINES, MECHANISMS, evaluate
@@ -61,6 +69,42 @@ def _write_timing(args, report) -> None:
         print(f"timing report written to {args.timing_out}", file=sys.stderr)
 
 
+def _obs_dir(args) -> str | None:
+    """The manifest output directory (flag, else $REPRO_OBS_DIR)."""
+    return getattr(args, "obs_dir", None) or os.environ.get(OBS_DIR_ENV)
+
+
+def _run_traced(args, command: str, label: str, fn):
+    """Run a command body, tracing it into a manifest when requested.
+
+    Without ``--obs-dir``/``$REPRO_OBS_DIR`` this is exactly ``fn()``
+    (tracing stays inert).  With it, the whole command becomes one
+    traced run whose manifest — trace id, provenance, per-cell rollups,
+    span timeline — lands next to the run's other outputs.
+    """
+    obs_dir = _obs_dir(args)
+    if not obs_dir:
+        return fn()
+    with tracing.run(label, command=command) as recorder:
+        status = fn()
+    manifest = build_manifest(
+        recorder,
+        extra={
+            "command": command,
+            "label": label,
+            "settings": {
+                "n_instructions": args.instructions,
+                "seed": args.seed,
+                "engine": getattr(args, "engine", "auto"),
+            },
+            "jobs": args.jobs,
+        },
+    )
+    path = write_manifest(manifest, obs_dir)
+    print(f"run manifest written to {path}", file=sys.stderr)
+    return status
+
+
 def _cmd_list(args) -> int:
     print("workloads (name, os):")
     for name, os_name in list_workloads():
@@ -83,12 +127,15 @@ def _cmd_experiment(args) -> int:
             file=sys.stderr,
         )
         return 2
-    result, report = run_experiment(
-        module, _settings(args), jobs=args.jobs, label=args.name
-    )
-    print(result.render())
-    _write_timing(args, report)
-    return 0
+    def body() -> int:
+        result, report = run_experiment(
+            module, _settings(args), jobs=args.jobs, label=args.name
+        )
+        print(result.render())
+        _write_timing(args, report)
+        return 0
+
+    return _run_traced(args, "experiment", args.name, body)
 
 
 def _cmd_report(args) -> int:
@@ -96,12 +143,15 @@ def _cmd_report(args) -> int:
     registry = dict(ALL_EXPERIMENTS)
     if args.extensions:
         registry.update(EXTENSION_EXPERIMENTS)
-    renderings, report = run_report(registry, settings, jobs=args.jobs)
-    for _, rendering in renderings:
-        print(rendering)
-        print()
-    _write_timing(args, report)
-    return 0
+    def body() -> int:
+        renderings, report = run_report(registry, settings, jobs=args.jobs)
+        for _, rendering in renderings:
+            print(rendering)
+            print()
+        _write_timing(args, report)
+        return 0
+
+    return _run_traced(args, "report", "report", body)
 
 
 def _cmd_trace(args) -> int:
@@ -122,20 +172,23 @@ def _cmd_evaluate(args) -> int:
         if args.config == "economy"
         else MemorySystemConfig.high_performance()
     )
-    result = evaluate(
-        args.name,
-        args.os,
-        config,
-        mechanism=args.mechanism,
-        n_instructions=args.instructions,
-        seed=args.seed,
-        engine=args.engine,
-    )
-    print(f"{args.name}@{args.os} on {config.name} ({config.describe()})")
-    print(f"  mechanism: {args.mechanism}")
-    print(f"  MPI: {100 * result.l1.mpi:.2f} per 100 instructions")
-    print(f"  CPIinstr: {result.cpi_instr:.3f}")
-    return 0
+    def body() -> int:
+        result = evaluate(
+            args.name,
+            args.os,
+            config,
+            mechanism=args.mechanism,
+            n_instructions=args.instructions,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        print(f"{args.name}@{args.os} on {config.name} ({config.describe()})")
+        print(f"  mechanism: {args.mechanism}")
+        print(f"  MPI: {100 * result.l1.mpi:.2f} per 100 instructions")
+        print(f"  CPIinstr: {result.cpi_instr:.3f}")
+        return 0
+
+    return _run_traced(args, "evaluate", f"evaluate-{args.name}", body)
 
 
 def _print_order_cache(order: dict) -> None:
@@ -254,7 +307,79 @@ def _cmd_serve(args) -> int:
         store=store,
         jobs=args.jobs,
         batch_window=args.batch_window,
+        obs_dir=_obs_dir(args),
     )
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.export import (
+        diff_manifests,
+        render_diff,
+        render_summary,
+        summarize,
+        to_chrome_trace,
+    )
+    from repro.obs.manifest import load_manifest
+
+    def load(path: str) -> dict:
+        try:
+            return load_manifest(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro obs: {exc}")
+
+    if args.obs_command == "export":
+        manifest = load(args.manifest)
+        payload = (
+            to_chrome_trace(manifest)
+            if args.format == "chrome-trace"
+            else manifest
+        )
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0
+    if args.obs_command == "summary":
+        summary = summarize(load(args.manifest))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary))
+        return 0
+    if args.obs_command == "diff":
+        diff = diff_manifests(load(args.a), load(args.b))
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff))
+        return 0
+    raise SystemExit(f"unknown obs command {args.obs_command!r}")
+
+
+class _VersionAction(argparse.Action):
+    """``--version`` with generator and git provenance.
+
+    A custom action (rather than ``action="version"``) so the git
+    subprocess only runs when ``--version`` is actually requested.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "show package, generator and git versions")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        info = version_info()
+        git = info["git"]
+        revision = git.get("describe") or git.get("revision") or "unknown"
+        print(
+            f"repro {info['package_version']} "
+            f"(generator v{info['generator_version']}, git {revision})"
+        )
+        parser.exit()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,10 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Instruction Fetching: Coping with "
         "Code Bloat' (ISCA 1995)",
     )
-    parser.add_argument(
-        "--version", action="version",
-        version=f"repro {package_version()}",
-    )
+    parser.add_argument("--version", action=_VersionAction)
     parser.add_argument("--instructions", type=int, default=400_000)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -291,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timing-out", metavar="FILE",
         help="write the per-cell/per-phase timing report as JSON",
+    )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR",
+        help="trace the run and write its manifest here "
+        f"(default: ${OBS_DIR_ENV})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -343,6 +470,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window", type=float, default=0.0, metavar="SECONDS",
         help="how long to hold compatible evaluate requests for batching",
     )
+
+    p_obs = sub.add_parser(
+        "obs", help="export, summarize or diff run manifests"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_export = obs_sub.add_parser(
+        "export", help="export a manifest (chrome-trace loads in Perfetto)"
+    )
+    p_obs_export.add_argument("manifest")
+    p_obs_export.add_argument(
+        "--format", choices=["chrome-trace", "json"], default="chrome-trace",
+        help="chrome-trace (Trace Event Format) or the raw manifest JSON",
+    )
+    p_obs_export.add_argument(
+        "--out", metavar="FILE", help="write here instead of stdout"
+    )
+    p_obs_summary = obs_sub.add_parser(
+        "summary", help="per-phase/per-cell/per-engine rollups of one run"
+    )
+    p_obs_summary.add_argument("manifest")
+    p_obs_summary.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="compare two run manifests"
+    )
+    p_obs_diff.add_argument("a")
+    p_obs_diff.add_argument("b")
+    p_obs_diff.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
     return parser
 
 
@@ -368,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _cmd_cache,
         "results": _cmd_results,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

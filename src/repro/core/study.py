@@ -26,6 +26,7 @@ from repro.fetch.markov import MarkovPrefetchEngine
 from repro.fetch.prefetch import PrefetchOnMissEngine, TaggedPrefetchEngine
 from repro.fetch.streambuf import StreamBufferEngine
 from repro.fetch.victim import VictimCacheEngine
+from repro.obs import tracing
 from repro.runner import timing
 from repro.trace.trace import Trace
 from repro.workloads.registry import DEFAULT_TRACE_INSTRUCTIONS, get_trace
@@ -168,20 +169,27 @@ def evaluate_trace(
     **options,
 ) -> StudyResult:
     """Evaluate a configuration against an already-synthesized trace."""
-    l1_runs = trace.ifetch_line_runs(config.l1.line_size)
-    l1_result = fetch_result(
-        l1_runs, config, mechanism, warmup_fraction, engine, **options
-    )
-
-    cpi_l2 = 0.0
-    l2_mpi = 0.0
-    if config.l2 is not None:
-        l2_runs = trace.ifetch_line_runs(
-            min(config.l2.line_size, config.l1.line_size)
+    with tracing.span(
+        "evaluate",
+        workload=trace.label,
+        config=config.name,
+        mechanism=mechanism,
+        engine=engine,
+    ):
+        l1_runs = trace.ifetch_line_runs(config.l1.line_size)
+        l1_result = fetch_result(
+            l1_runs, config, mechanism, warmup_fraction, engine, **options
         )
-        l2_measure = measure_mpi(l2_runs, config.l2, warmup_fraction)
-        l2_mpi = l2_measure.mpi
-        cpi_l2 = l2_measure.cpi_contribution(config.l2_miss_penalty)
+
+        cpi_l2 = 0.0
+        l2_mpi = 0.0
+        if config.l2 is not None:
+            l2_runs = trace.ifetch_line_runs(
+                min(config.l2.line_size, config.l1.line_size)
+            )
+            l2_measure = measure_mpi(l2_runs, config.l2, warmup_fraction)
+            l2_mpi = l2_measure.mpi
+            cpi_l2 = l2_measure.cpi_contribution(config.l2_miss_penalty)
 
     return StudyResult(
         workload=trace.label,

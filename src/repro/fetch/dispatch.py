@@ -34,7 +34,17 @@ _lock = threading.Lock()
 _totals: dict[tuple[str, str], int] = {}
 
 #: Process-wide observers (the serving layer's live metrics feed).
+#: Guarded by its own lock (not ``_lock``) so registration changes made
+#: while another thread is dispatching neither corrupt the list nor
+#: hold the totals lock across observer callbacks.
 _observers: list[Callable[[str, str, int], None]] = []
+_observers_lock = threading.Lock()
+
+
+def _observer_snapshot() -> tuple:
+    """A consistent copy of the observer list to notify outside the lock."""
+    with _observers_lock:
+        return tuple(_observers)
 
 
 def _counts() -> dict[tuple[str, str], int]:
@@ -56,7 +66,7 @@ def record(mechanism: str, engine: str, count: int = 1) -> None:
     counts[key] = counts.get(key, 0) + count
     with _lock:
         _totals[key] = _totals.get(key, 0) + count
-    for observer in list(_observers):
+    for observer in _observer_snapshot():
         observer(mechanism, engine, count)
 
 
@@ -88,18 +98,21 @@ def reset_totals() -> None:
 def add_observer(observer: Callable[[str, str, int], None]) -> None:
     """Register ``observer(mechanism, engine, count)`` on every dispatch.
 
-    Observers must be cheap and must not raise.
+    Observers must be cheap and must not raise.  Thread-safe,
+    idempotent.
     """
-    if observer not in _observers:
-        _observers.append(observer)
+    with _observers_lock:
+        if observer not in _observers:
+            _observers.append(observer)
 
 
 def remove_observer(observer: Callable[[str, str, int], None]) -> None:
     """Unregister an observer installed by :func:`add_observer`."""
-    try:
-        _observers.remove(observer)
-    except ValueError:
-        pass
+    with _observers_lock:
+        try:
+            _observers.remove(observer)
+        except ValueError:
+            pass
 
 
 def notify(counts: Mapping[tuple[str, str], int]) -> None:
@@ -116,7 +129,7 @@ def notify(counts: Mapping[tuple[str, str], int]) -> None:
                 _totals[(mechanism, engine)] = (
                     _totals.get((mechanism, engine), 0) + count
                 )
-            for observer in list(_observers):
+            for observer in _observer_snapshot():
                 observer(mechanism, engine, count)
 
 

@@ -1,0 +1,49 @@
+"""Structured JSON-line logging keyed by trace id.
+
+The serving tier emits one JSON object per line per event (request
+served, job finished) so log aggregators can join server logs to run
+manifests on ``trace_id`` without regex archaeology.  The default sink
+is ``sys.stderr``; tests and embedders redirect it with
+:func:`configure`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+_lock = threading.Lock()
+_stream = None
+
+
+def configure(stream) -> None:
+    """Redirect structured log lines (``None`` restores stderr)."""
+    global _stream
+    _stream = stream
+
+
+def log_event(event: str, trace_id: str | None = None, **fields) -> None:
+    """Emit one structured log line.
+
+    ``trace_id`` defaults to the current tracing context's id (if a
+    recorder is bound to this thread); explicit ids win.  Field values
+    must be JSON-serializable (everything else is stringified).
+    """
+    if trace_id is None:
+        from repro.obs import tracing
+
+        trace_id = tracing.current_trace_id()
+    record = {"ts": round(time.time(), 6), "event": event}
+    if trace_id is not None:
+        record["trace_id"] = trace_id
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True, default=str)
+    stream = _stream if _stream is not None else sys.stderr
+    with _lock:
+        stream.write(line + "\n")
+        try:
+            stream.flush()
+        except (OSError, ValueError):
+            pass

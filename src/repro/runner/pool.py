@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import multiprocessing
 
 from repro.fetch import dispatch
+from repro.obs import tracing
 from repro.runner import timing
 from repro.runner.timing import CellTiming, TimingReport
 
@@ -86,17 +87,37 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _cell_attrs(args: tuple) -> dict:
+    """Span attributes derivable from a cell's arguments.
+
+    Duck-typed detection of an :class:`ExperimentSettings`-shaped
+    argument (this module cannot import the experiments layer), so
+    every cell span carries the run parameters the manifest promises.
+    """
+    for arg in args:
+        if hasattr(arg, "n_instructions") and hasattr(arg, "engine"):
+            return {
+                "n_instructions": arg.n_instructions,
+                "seed": arg.seed,
+                "engine": arg.engine,
+            }
+    return {}
+
+
 def _execute_cell(key: tuple, fn: Callable, args: tuple):
     """Run one cell under fresh phase/dispatch accumulators (worker side)."""
     timing.reset()
     dispatch.reset()
     start = time.perf_counter()
-    try:
-        result = fn(*args)
-    except CellExecutionError:
-        raise
-    except Exception as exc:
-        raise CellExecutionError(key, f"{type(exc).__name__}: {exc}") from exc
+    with tracing.cell_capture(key, _cell_attrs(args)) as captured:
+        try:
+            result = fn(*args)
+        except CellExecutionError:
+            raise
+        except Exception as exc:
+            raise CellExecutionError(
+                key, f"{type(exc).__name__}: {exc}"
+            ) from exc
     wall = time.perf_counter() - start
     cell_timing = CellTiming(
         key=key,
@@ -104,7 +125,7 @@ def _execute_cell(key: tuple, fn: Callable, args: tuple):
         phases=timing.snapshot(reset=True),
         dispatch=dispatch.snapshot(reset=True),
     )
-    return result, cell_timing
+    return result, cell_timing, captured.records
 
 
 def _registry_snapshot() -> dict:
@@ -117,6 +138,7 @@ def _registry_snapshot() -> dict:
         "cache_dir": getattr(backend, "root", None),
         "max_entries": stats["max_entries"],
         "max_bytes": stats["max_bytes"],
+        "obs_capture": tracing.active_recorder() is not None,
     }
 
 
@@ -132,6 +154,9 @@ def _worker_init(config: dict) -> None:
     registry.configure_trace_cache(
         config.get("max_entries"), config.get("max_bytes")
     )
+    # When the coordinating run is traced, cells capture spans locally
+    # and ship them back for re-parenting under the run's trace id.
+    tracing.enable_worker_capture(config.get("obs_capture", False))
 
 
 def _pool_context():
@@ -169,12 +194,21 @@ def run_cells(
         # Workers accumulate phases and dispatch counts in their own
         # processes; replay them so parent-side observers and totals
         # (live service metrics) see the same stream a serial run
-        # produces.
-        for _, cell_timing in outcomes:
-            timing.notify_phases(cell_timing.phases)
-            dispatch.notify(cell_timing.dispatch)
-    results = [result for result, _ in outcomes]
-    timings = [cell_timing for _, cell_timing in outcomes]
+        # produces.  The replay is suppressed from the tracing bridges:
+        # the shipped worker spans below already carry those records,
+        # and absorbing the replay too would double-count them.
+        with tracing.suppressed():
+            for _, cell_timing, _ in outcomes:
+                timing.notify_phases(cell_timing.phases)
+                dispatch.notify(cell_timing.dispatch)
+        recorder = tracing.active_recorder()
+        if recorder is not None:
+            parent = tracing.current_span()
+            parent_id = parent.span_id if parent is not None else None
+            for _, _, spans in outcomes:
+                recorder.adopt(spans, parent_id)
+    results = [result for result, _, _ in outcomes]
+    timings = [cell_timing for _, cell_timing, _ in outcomes]
     return results, timings
 
 
@@ -190,14 +224,19 @@ def run_experiment(
     if label is None:
         label = module.__name__.rsplit(".", 1)[-1]
     start = time.perf_counter()
-    if has_cells(module):
-        cell_list = module.cells(settings)
-        results, timings = run_cells(cell_list, jobs)
-        result = module.merge(settings, results)
-    else:
-        cell_list = [ExperimentCell(key=(label,), fn=module.run, args=(settings,))]
-        results, timings = run_cells(cell_list, jobs)
-        result = results[0]
+    with tracing.span(
+        "experiment", label=label, jobs=resolve_jobs(jobs)
+    ):
+        if has_cells(module):
+            cell_list = module.cells(settings)
+            results, timings = run_cells(cell_list, jobs)
+            result = module.merge(settings, results)
+        else:
+            cell_list = [
+                ExperimentCell(key=(label,), fn=module.run, args=(settings,))
+            ]
+            results, timings = run_cells(cell_list, jobs)
+            result = results[0]
     wall = time.perf_counter() - start
     report = TimingReport(
         label=label, jobs=resolve_jobs(jobs), wall_seconds=wall,

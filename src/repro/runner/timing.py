@@ -41,7 +41,11 @@ _state = threading.local()
 #: Process-wide phase observers (the serving layer's live metrics feed).
 #: Unlike the accumulator these are deliberately *not* thread-local:
 #: the HTTP service runs jobs on worker threads and wants one stream.
+#: Registration and notification are serialized through a lock so
+#: adding/removing an observer while another thread is inside a phase
+#: exit can neither skip a registered observer nor corrupt the list.
 _observers: list[Callable[[str, float], None]] = []
+_observers_lock = threading.Lock()
 
 
 def add_phase_observer(observer: Callable[[str, float], None]) -> None:
@@ -49,18 +53,26 @@ def add_phase_observer(observer: Callable[[str, float], None]) -> None:
 
     Observers see the *net* time of each phase (nested phases already
     subtracted) from every thread of this process.  They must be cheap
-    and must not raise.
+    and must not raise.  Thread-safe, idempotent.
     """
-    if observer not in _observers:
-        _observers.append(observer)
+    with _observers_lock:
+        if observer not in _observers:
+            _observers.append(observer)
 
 
 def remove_phase_observer(observer: Callable[[str, float], None]) -> None:
     """Unregister an observer installed by :func:`add_phase_observer`."""
-    try:
-        _observers.remove(observer)
-    except ValueError:
-        pass
+    with _observers_lock:
+        try:
+            _observers.remove(observer)
+        except ValueError:
+            pass
+
+
+def _observer_snapshot() -> tuple:
+    """A consistent copy of the observer list to notify outside the lock."""
+    with _observers_lock:
+        return tuple(_observers)
 
 
 def notify_phases(phases: Mapping[str, float]) -> None:
@@ -72,8 +84,9 @@ def notify_phases(phases: Mapping[str, float]) -> None:
     """
     if not _observers:
         return
+    observers = _observer_snapshot()
     for name, seconds in phases.items():
-        for observer in list(_observers):
+        for observer in observers:
             observer(name, seconds)
 
 
@@ -113,7 +126,7 @@ def phase(name: str) -> Iterator[None]:
         if frames:
             frames[-1][2] += elapsed
         if _observers:
-            for observer in list(_observers):
+            for observer in _observer_snapshot():
                 observer(name, net)
 
 
@@ -129,6 +142,17 @@ def reset() -> None:
     """Zero this thread's phase accumulator."""
     _phases().clear()
     del _frames()[:]
+
+
+def _flatten_dispatch(
+    nested: Mapping[str, Mapping[str, int]]
+) -> dict[tuple[str, str], int]:
+    """Inverse of :func:`_nest_dispatch`: JSON shape back to count keys."""
+    counts: dict[tuple[str, str], int] = {}
+    for engine, mechanisms in nested.items():
+        for mechanism, count in mechanisms.items():
+            counts[(mechanism, engine)] = count
+    return counts
 
 
 def _nest_dispatch(
@@ -229,3 +253,34 @@ class TimingReport:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TimingReport":
+        """Rebuild a report from its :meth:`to_dict` shape.
+
+        Cell keys round-trip as tuples (JSON stores them as lists) and
+        dispatch counts as ``(mechanism, engine)`` keys, so
+        ``phase_totals``/``dispatch_totals`` of the reloaded report
+        equal the original's.
+        """
+        cells = tuple(
+            CellTiming(
+                key=tuple(cell["key"]),
+                wall_seconds=cell["wall_seconds"],
+                phases=dict(cell.get("phases", {})),
+                dispatch=_flatten_dispatch(cell.get("engine_dispatch", {})),
+            )
+            for cell in data.get("cells", [])
+        )
+        return cls(
+            label=data["label"],
+            jobs=data["jobs"],
+            wall_seconds=data["wall_seconds"],
+            cells=cells,
+        )
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "TimingReport":
+        """Load a report written by :meth:`write`."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

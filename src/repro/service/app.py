@@ -34,7 +34,14 @@ from repro import package_version
 from repro.core.study import ENGINES, MECHANISMS
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 from repro.experiments.common import ExperimentSettings
-from repro.service.http import HttpError, Request, Response, read_request
+from repro.obs.logs import log_event
+from repro.service.http import (
+    HttpError,
+    Request,
+    Response,
+    read_request,
+    request_trace_id,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import CONFIGS, EvaluateRequest, JobScheduler
 from repro.service.store import ResultStore
@@ -69,11 +76,13 @@ class ServiceApp:
         scheduler: JobScheduler | None = None,
         jobs: int = 1,
         batch_window: float = 0.0,
+        obs_dir: str | None = None,
     ):
         self.metrics = metrics or ServiceMetrics()
         self.store = store if store is not None else ResultStore(None)
         self.scheduler = scheduler or JobScheduler(
-            self.store, self.metrics, jobs=jobs, batch_window=batch_window
+            self.store, self.metrics, jobs=jobs, batch_window=batch_window,
+            obs_dir=obs_dir,
         )
         self.started_at = time.time()
 
@@ -109,14 +118,22 @@ class ServiceApp:
                 pass
 
     async def dispatch(self, request: Request) -> Response:
-        """Route one request, recording request/response metrics."""
+        """Route one request, recording request/response metrics.
+
+        Every request gets a trace id — the inbound
+        ``X-Repro-Trace-Id`` header when the client sent a sane one,
+        server-assigned otherwise — which is echoed on the response,
+        threaded into any job the request starts, and keyed into the
+        structured request log line.
+        """
+        trace_id = request_trace_id(request.headers)
         self.metrics.inc(
             "requests_total",
             {"endpoint": _endpoint_label(request.method, request.path)},
         )
         start = time.perf_counter()
         try:
-            response = await self._route(request)
+            response = await self._route(request, trace_id)
         except HttpError as exc:
             response = Response.error(exc.status, exc.message)
         except Exception as exc:  # noqa: BLE001 - the server must answer
@@ -124,20 +141,32 @@ class ServiceApp:
                 HTTPStatus.INTERNAL_SERVER_ERROR,
                 f"{type(exc).__name__}: {exc}",
             )
+        elapsed = time.perf_counter() - start
+        response.headers = response.headers + (
+            ("X-Repro-Trace-Id", trace_id),
+        )
         self.metrics.inc("responses_total", {"status": str(response.status)})
-        self.metrics.observe("request_seconds", time.perf_counter() - start)
+        self.metrics.observe("request_seconds", elapsed)
+        log_event(
+            "http_request",
+            trace_id=trace_id,
+            method=request.method,
+            path=request.path,
+            status=response.status,
+            seconds=round(elapsed, 6),
+        )
         return response
 
-    async def _route(self, request: Request) -> Response:
+    async def _route(self, request: Request, trace_id: str) -> Response:
         method, path = request.method, request.path
         if path == "/healthz" and method == "GET":
             return self._healthz()
         if path == "/metrics" and method == "GET":
             return self._metrics(request)
         if path == "/v1/experiments" and method == "POST":
-            return await self._post_experiment(request)
+            return await self._post_experiment(request, trace_id)
         if path == "/v1/evaluate" and method == "POST":
-            return await self._post_evaluate(request)
+            return await self._post_evaluate(request, trace_id)
         if path == "/v1/results" and method == "GET":
             return Response.from_json(self.store.describe())
         if path.startswith("/v1/jobs/") and method == "GET":
@@ -218,7 +247,9 @@ class ServiceApp:
             status = HTTPStatus.INTERNAL_SERVER_ERROR
         return Response.from_json(job.to_dict(), status)
 
-    async def _post_experiment(self, request: Request) -> Response:
+    async def _post_experiment(
+        self, request: Request, trace_id: str
+    ) -> Response:
         payload = request.json()
         name = payload.get("experiment")
         registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -230,13 +261,15 @@ class ServiceApp:
             )
         settings = self._settings_from(payload)
         job = await self.scheduler.submit_experiment(
-            name, registry[name], settings
+            name, registry[name], settings, trace_id=trace_id
         )
         if payload.get("wait"):
             await job.wait()
         return self._job_response(job, bool(payload.get("wait")))
 
-    async def _post_evaluate(self, request: Request) -> Response:
+    async def _post_evaluate(
+        self, request: Request, trace_id: str
+    ) -> Response:
         payload = request.json()
         workload = payload.get("workload")
         os_name = payload.get("os", "mach3")
@@ -266,7 +299,8 @@ class ServiceApp:
                 config_name=config_name,
                 mechanism=mechanism,
                 settings=self._settings_from(payload),
-            )
+            ),
+            trace_id=trace_id,
         )
         if payload.get("wait"):
             await job.wait()
@@ -314,9 +348,12 @@ def run_service(
     store: ResultStore | None = None,
     jobs: int = 1,
     batch_window: float = 0.0,
+    obs_dir: str | None = None,
 ) -> int:
     """Blocking entry point behind ``repro serve``."""
-    app = ServiceApp(store=store, jobs=jobs, batch_window=batch_window)
+    app = ServiceApp(
+        store=store, jobs=jobs, batch_window=batch_window, obs_dir=obs_dir
+    )
     try:
         asyncio.run(_serve_forever(app, host, port))
     except KeyboardInterrupt:

@@ -24,6 +24,36 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 _SERVER_NAME = "repro-serve"
 
+#: Header carrying the trace id, inbound (client-assigned) and outbound
+#: (echoed or server-assigned).  Header lookups are lowercase.
+TRACE_ID_HEADER = "x-repro-trace-id"
+
+#: Characters accepted in a client-supplied trace id.
+_TRACE_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
+_TRACE_ID_MAX = 128
+
+
+def request_trace_id(headers: dict[str, str]) -> str:
+    """The request's trace id: the inbound header if safe, else fresh.
+
+    A client-supplied id is honored only when it is plain (alphanumeric
+    plus dash/underscore, bounded length) — anything else gets a
+    server-assigned id rather than letting arbitrary bytes into logs
+    and manifests.
+    """
+    from repro.obs import tracing
+
+    candidate = headers.get(TRACE_ID_HEADER, "").strip()
+    if (
+        candidate
+        and len(candidate) <= _TRACE_ID_MAX
+        and set(candidate) <= _TRACE_ID_CHARS
+    ):
+        return candidate
+    return tracing.new_trace_id()
+
 
 class HttpError(Exception):
     """A framing- or routing-level failure with an HTTP status."""

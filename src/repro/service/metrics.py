@@ -27,6 +27,39 @@ DEFAULT_BUCKETS = (
 #: Prefix applied to every exported metric name.
 METRIC_PREFIX = "repro_"
 
+#: ``# HELP`` text for the metric families the service exports.
+#: Unlisted (ad-hoc) metrics get a generated line so every family in
+#: the exposition still carries the HELP/TYPE header pair scrapers
+#: expect.
+METRIC_HELP = {
+    "requests_total": "HTTP requests received, by endpoint.",
+    "responses_total": "HTTP responses sent, by status code.",
+    "request_seconds": "HTTP request handling latency.",
+    "jobs_submitted_total": "Jobs submitted, by kind.",
+    "jobs_coalesced_total": "Requests coalesced onto an in-flight job.",
+    "jobs_executed_total": "Jobs executed to completion, by kind.",
+    "jobs_failed_total": "Jobs that raised, by kind.",
+    "job_seconds": "Job execution latency, by kind.",
+    "queue_depth": "Jobs currently queued or running.",
+    "eval_batches_total": "Evaluate batches flushed to the pool.",
+    "eval_batch_size": "Evaluate requests per flushed batch.",
+    "result_store_hits_total": "Jobs answered from the result store.",
+    "result_store_misses_total": "Result-store lookups that missed.",
+    "result_store_entries": "Entries resident in the result store.",
+    "result_store_bytes": "Bytes resident in the result store.",
+    "phase_seconds": "Simulation phase wall time, by phase.",
+    "span_seconds": "Traced span wall time, by span name.",
+    "engine_dispatch_total": (
+        "Fetch-timing dispatch decisions, by mechanism and engine."
+    ),
+    "trace_cache_lookups_total": "Trace cache lookups, by result.",
+    "trace_cache_entries": "Traces resident in the in-memory cache.",
+    "trace_cache_resident_bytes": "Bytes resident in the trace cache.",
+    "line_order_cache_entries": "Entries in the stack-distance memo.",
+    "line_order_cache_bytes": "Bytes in the stack-distance memo.",
+    "line_order_cache_evictions": "Evictions from the stack-distance memo.",
+}
+
 
 def _label_key(labels: Mapping[str, str] | None) -> tuple:
     """Canonical hashable identity of a label set."""
@@ -35,11 +68,28 @@ def _label_key(labels: Mapping[str, str] | None) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(label_key: tuple, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in label_key]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in label_key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _help_line(full: str, name: str) -> str:
+    help_text = METRIC_HELP.get(name, f"Service metric {name}.")
+    escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {full} {escaped}"
 
 
 class Histogram:
@@ -167,16 +217,19 @@ class ServiceMetrics:
         with self._lock:
             for name, series in sorted(self._counters.items()):
                 full = METRIC_PREFIX + name
+                lines.append(_help_line(full, name))
                 lines.append(f"# TYPE {full} counter")
                 for key, value in sorted(series.items()):
                     lines.append(f"{full}{_render_labels(key)} {value:g}")
             for name, series in sorted(self._gauges.items()):
                 full = METRIC_PREFIX + name
+                lines.append(_help_line(full, name))
                 lines.append(f"# TYPE {full} gauge")
                 for key, value in sorted(series.items()):
                     lines.append(f"{full}{_render_labels(key)} {value:g}")
             for name, series in sorted(self._histograms.items()):
                 full = METRIC_PREFIX + name
+                lines.append(_help_line(full, name))
                 lines.append(f"# TYPE {full} histogram")
                 for key, histogram in sorted(series.items()):
                     cumulative = histogram.cumulative()

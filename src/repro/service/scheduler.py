@@ -37,6 +37,9 @@ from repro.experiments.common import (
     canonical_job_key,
     settings_record,
 )
+from repro.obs import tracing
+from repro.obs.logs import log_event
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.runner import timing
 from repro.runner.pool import ExperimentCell, run_cells, run_experiment
 from repro.workloads import registry
@@ -112,11 +115,15 @@ class EvaluateRequest:
 class Job:
     """One unit of served work, shared by every coalesced caller."""
 
-    def __init__(self, key: str, kind: str, name: str):
+    def __init__(
+        self, key: str, kind: str, name: str, trace_id: str | None = None
+    ):
         self.id = f"job-{next(_job_counter):06d}-{uuid.uuid4().hex[:8]}"
         self.key = key
         self.kind = kind
         self.name = name
+        self.trace_id = trace_id or tracing.new_trace_id()
+        self.manifest: str | None = None
         self.status = PENDING
         self.created_at = time.time()
         self.finished_at: float | None = None
@@ -157,6 +164,8 @@ class Job:
             "key": self.key,
             "kind": self.kind,
             "name": self.name,
+            "trace_id": self.trace_id,
+            "manifest": self.manifest,
             "status": self.status,
             "coalesced": self.coalesced,
             "source": self.source,
@@ -234,11 +243,19 @@ class JobScheduler:
         batch_window: float = 0.0,
         max_workers: int = 4,
         max_finished_jobs: int = 1024,
+        obs_dir: str | None = None,
     ):
         self.store = store
         self.metrics = metrics
         self.jobs = jobs
         self.batch_window = batch_window
+        self.obs_dir = obs_dir
+        # Every finished span of a traced job lands in a per-span-name
+        # latency histogram, so /metrics exposes the span-derived
+        # breakdown (run vs cell vs evaluate) alongside phase_seconds.
+        self._span_observer = lambda record: self.metrics.observe(
+            "span_seconds", record["wall_seconds"], {"span": record["name"]}
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-job"
         )
@@ -323,14 +340,18 @@ class JobScheduler:
         return True
 
     async def submit_experiment(
-        self, name: str, module, settings: ExperimentSettings
+        self,
+        name: str,
+        module,
+        settings: ExperimentSettings,
+        trace_id: str | None = None,
     ) -> Job:
         """Submit one experiment module run (single-flight per key)."""
         key = canonical_job_key("experiment", name, settings)
         existing = self._coalesce(key)
         if existing is not None:
             return existing
-        job = Job(key, "experiment", name)
+        job = Job(key, "experiment", name, trace_id=trace_id)
         self._register(job)
         self.metrics.inc("jobs_submitted_total", {"kind": "experiment"})
         if self._check_store(job):
@@ -340,18 +361,59 @@ class JobScheduler:
         asyncio.ensure_future(self._run_experiment_job(job, name, module, settings))
         return job
 
+    def _finish_manifest(self, recorder, extra: dict) -> str | None:
+        """Write one run manifest under ``obs_dir`` (if configured)."""
+        if self.obs_dir is None:
+            return None
+        manifest = build_manifest(recorder, extra=extra)
+        return write_manifest(manifest, self.obs_dir)
+
+    def _execute_experiment(
+        self, job: Job, name: str, module, settings: ExperimentSettings
+    ):
+        """Executor-thread body of one experiment job, traced end to end.
+
+        Runs on a worker thread (thread-locals do not cross
+        ``run_in_executor``), so the recorder must be bound *here*, not
+        on the event loop.
+        """
+        with tracing.run(
+            name,
+            trace_id=job.trace_id,
+            on_span=self._span_observer,
+            job=job.id,
+            kind="experiment",
+        ) as recorder:
+            result, report = run_experiment(
+                module, settings, self.jobs, name
+            )
+        manifest_path = self._finish_manifest(
+            recorder,
+            extra={
+                "command": "serve",
+                "kind": "experiment",
+                "job": job.id,
+                "key": job.key,
+                "settings": settings_record(settings),
+                "jobs": self.jobs,
+            },
+        )
+        return result, report, manifest_path
+
     async def _run_experiment_job(
         self, job: Job, name: str, module, settings: ExperimentSettings
     ) -> None:
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         try:
-            result, report = await loop.run_in_executor(
-                self._executor, run_experiment, module, settings, self.jobs, name
+            result, report, manifest_path = await loop.run_in_executor(
+                self._executor, self._execute_experiment,
+                job, name, module, settings,
             )
             payload = {
                 "kind": "experiment",
                 "name": name,
+                "trace_id": job.trace_id,
                 "settings": settings_record(settings),
                 "wall_seconds": report.wall_seconds,
                 "phase_totals": report.phase_totals,
@@ -361,6 +423,7 @@ class JobScheduler:
             self.metrics.inc("jobs_failed_total", {"kind": "experiment"})
             job._fail(str(exc))
         else:
+            job.manifest = manifest_path
             self.store.put(job.key, payload, rendering)
             self.metrics.inc("jobs_executed_total", {"kind": "experiment"})
             self.metrics.observe(
@@ -371,14 +434,26 @@ class JobScheduler:
             job._complete(payload, rendering, "executed")
         finally:
             self._inflight.pop(job.key, None)
+            log_event(
+                "job_finished",
+                trace_id=job.trace_id,
+                job=job.id,
+                kind="experiment",
+                name=name,
+                status=job.status,
+                seconds=round(time.perf_counter() - start, 6),
+                manifest=job.manifest,
+            )
 
-    async def submit_evaluate(self, request: EvaluateRequest) -> Job:
+    async def submit_evaluate(
+        self, request: EvaluateRequest, trace_id: str | None = None
+    ) -> Job:
         """Submit one point evaluation (coalesced, then batched)."""
         key = request.key()
         existing = self._coalesce(key)
         if existing is not None:
             return existing
-        job = Job(key, "evaluate", request.workload)
+        job = Job(key, "evaluate", request.workload, trace_id=trace_id)
         self._register(job)
         self.metrics.inc("jobs_submitted_total", {"kind": "evaluate"})
         if self._check_store(job):
@@ -443,22 +518,73 @@ class JobScheduler:
             )
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
+        # The flush is one traced run: its trace id is the first job's
+        # (a one-request batch — the common case — therefore carries the
+        # requesting client's id), and the manifest's extra block lists
+        # every coalesced request with its own trace id and key.
+        requests_meta = [
+            {"job": job.id, "trace_id": job.trace_id, "key": job.key}
+            for _, job in batch
+        ]
         try:
-            results, _ = await loop.run_in_executor(
-                self._executor, run_cells, cells, self.jobs
+            results, manifest_path = await loop.run_in_executor(
+                self._executor, self._execute_eval_batch,
+                cells, batch[0][1].trace_id, requests_meta,
             )
         except Exception as exc:
             for _, job in batch:
                 self.metrics.inc("jobs_failed_total", {"kind": "evaluate"})
                 job._fail(str(exc))
                 self._inflight.pop(job.key, None)
+                log_event(
+                    "job_finished",
+                    trace_id=job.trace_id,
+                    job=job.id,
+                    kind="evaluate",
+                    name=job.name,
+                    status=job.status,
+                    error=str(exc),
+                )
             return
         elapsed = time.perf_counter() - start
         for indices, payloads in zip(groups.values(), results):
             for index, payload in zip(indices, payloads):
                 _, job = batch[index]
+                job.manifest = manifest_path
                 self.store.put(job.key, payload)
                 self.metrics.inc("jobs_executed_total", {"kind": "evaluate"})
                 job._complete(payload, None, "executed")
                 self._inflight.pop(job.key, None)
+                log_event(
+                    "job_finished",
+                    trace_id=job.trace_id,
+                    job=job.id,
+                    kind="evaluate",
+                    name=job.name,
+                    status=job.status,
+                    seconds=round(elapsed, 6),
+                    manifest=job.manifest,
+                )
         self.metrics.observe("job_seconds", elapsed, {"kind": "evaluate"})
+
+    def _execute_eval_batch(
+        self, cells: list[ExperimentCell], trace_id: str, requests_meta: list
+    ):
+        """Executor-thread body of one evaluate flush, traced end to end."""
+        with tracing.run(
+            "evaluate-batch",
+            trace_id=trace_id,
+            on_span=self._span_observer,
+            batch_size=len(requests_meta),
+        ) as recorder:
+            results, _ = run_cells(cells, self.jobs)
+        manifest_path = self._finish_manifest(
+            recorder,
+            extra={
+                "command": "serve",
+                "kind": "evaluate",
+                "requests": requests_meta,
+                "jobs": self.jobs,
+            },
+        )
+        return results, manifest_path

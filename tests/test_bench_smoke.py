@@ -47,6 +47,33 @@ def test_cold_warm_bench(bench_smoke, tmp_path):
     assert json.loads(json.dumps(record)) == record
 
 
+def test_obs_dir_links_trace_artifacts(bench_smoke, tmp_path):
+    """With ``--obs-dir`` the record carries its trace id plus paths to
+    a loadable manifest and a chrome-trace export with cell spans (what
+    the CI export-validation step relies on)."""
+    from repro.obs.manifest import load_manifest
+
+    record = bench_smoke.bench(
+        experiment="table5",
+        n_instructions=20_000,
+        jobs=1,
+        cache_dir=str(tmp_path / "cache"),
+        obs_dir=str(tmp_path / "obs"),
+    )
+    obs = record["obs"]
+    manifest = load_manifest(obs["manifest"])
+    assert manifest["trace_id"] == obs["trace_id"]
+    # The benchmark's cold/warm/fetch stages are spans of one run.
+    names = {span["name"] for span in manifest["spans"]}
+    assert {"bench-smoke", "cold", "warm", "fetch-compare"} <= names
+    trace = json.loads(pathlib.Path(obs["chrome_trace"]).read_text())
+    cells = [
+        event for event in trace["traceEvents"]
+        if event.get("name") == "cell" and event.get("ph") == "X"
+    ]
+    assert len(cells) >= 1
+
+
 def test_main_writes_json(bench_smoke, tmp_path, monkeypatch, capsys):
     out = tmp_path / "bench.json"
     monkeypatch.setattr(

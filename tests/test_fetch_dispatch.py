@@ -10,6 +10,8 @@ sections of the runner's timing reports.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.caches.base import CacheGeometry
@@ -67,6 +69,56 @@ class TestAccumulators:
             dispatch.remove_observer(observer)
         assert seen == [("demand", dispatch.ENGINE_REFERENCE, 5)]
         assert dispatch.totals()[("demand", dispatch.ENGINE_REFERENCE)] == 5
+
+    def test_concurrent_observer_churn_while_recording(self):
+        # Observer registration must be safe against concurrent
+        # mutation: record() snapshots the list under a dedicated lock
+        # (separate from the totals lock, so callbacks never run with
+        # the counter lock held).
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            def observer(mechanism, engine, count):
+                pass
+            try:
+                while not stop.is_set():
+                    dispatch.add_observer(observer)
+                    dispatch.remove_observer(observer)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        seen = []
+        keeper = lambda m, e, n: seen.append(n)
+        dispatch.add_observer(keeper)
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                dispatch.record("demand", dispatch.ENGINE_VECTORIZED)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            dispatch.remove_observer(keeper)
+        assert not errors
+        assert len(seen) == 300
+        assert (
+            dispatch.totals()[("demand", dispatch.ENGINE_VECTORIZED)] == 300
+        )
+
+    def test_observer_may_reenter_counters(self):
+        # Regression guard for the lock split: an observer that reads
+        # the totals back must not deadlock on the counter lock.
+        readback = []
+        observer = lambda m, e, n: readback.append(dict(dispatch.totals()))
+        dispatch.add_observer(observer)
+        try:
+            dispatch.record("demand", dispatch.ENGINE_VECTORIZED)
+        finally:
+            dispatch.remove_observer(observer)
+        assert readback[0][("demand", dispatch.ENGINE_VECTORIZED)] == 1
 
     def test_as_report_nests_by_engine(self):
         report = dispatch.as_report({

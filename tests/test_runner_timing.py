@@ -1,6 +1,7 @@
 """Unit tests for the runner's phase-timing accounting."""
 
 import json
+import threading
 import time
 
 import pytest
@@ -82,3 +83,86 @@ class TestReport:
         self._report().write(path)
         record = json.loads(path.read_text())
         assert record["phase_totals"]["simulate"] == pytest.approx(0.5)
+
+
+class TestReportRoundTrip:
+    def _report(self):
+        cells = (
+            CellTiming(
+                key=("groff", "mach3", 1), wall_seconds=0.5,
+                phases={"simulate": 0.3, "synthesize": 0.1},
+                dispatch={("demand", "vectorized"): 2,
+                          ("victim", "reference"): 1},
+            ),
+            CellTiming(key=("sdet", "mach3", 2), wall_seconds=0.25,
+                       phases={"simulate": 0.2}),
+        )
+        return TimingReport(
+            label="round-trip", jobs=2, wall_seconds=0.8, cells=cells
+        )
+
+    def test_write_read_preserves_totals(self, tmp_path):
+        # The --timing-out acceptance bar: a written report reloads with
+        # identical phase and dispatch totals.
+        report = self._report()
+        path = tmp_path / "timing.json"
+        report.write(path)
+        loaded = TimingReport.read(path)
+        assert loaded.phase_totals == pytest.approx(report.phase_totals)
+        assert loaded.dispatch_totals == report.dispatch_totals
+
+    def test_round_trip_preserves_cells(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "timing.json"
+        report.write(path)
+        loaded = TimingReport.read(path)
+        assert loaded.label == "round-trip"
+        assert loaded.jobs == 2
+        assert loaded.wall_seconds == pytest.approx(0.8)
+        assert [cell.key for cell in loaded.cells] == \
+            [cell.key for cell in report.cells]
+        for original, reloaded in zip(report.cells, loaded.cells):
+            assert reloaded.phases == pytest.approx(original.phases)
+            # Per-cell dispatch survives the nest/flatten round trip.
+            assert reloaded.dispatch == original.dispatch
+
+    def test_from_dict_matches_to_dict(self):
+        report = self._report()
+        rebuilt = TimingReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+
+
+class TestObserverThreadSafety:
+    def test_concurrent_add_remove_while_notifying(self):
+        # Mutating the observer list from one thread while another
+        # notifies must neither skip-fire nor raise (the list is
+        # snapshotted under a lock before fan-out).
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            def observer(name, seconds):
+                pass
+            try:
+                while not stop.is_set():
+                    timing.add_phase_observer(observer)
+                    timing.remove_phase_observer(observer)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        seen = []
+        keeper = lambda name, seconds: seen.append(name)
+        timing.add_phase_observer(keeper)
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                timing.notify_phases({"simulate": 0.001})
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            timing.remove_phase_observer(keeper)
+        assert not errors
+        assert len(seen) == 300

@@ -9,9 +9,13 @@ recorded in ``/metrics``.
 """
 
 import asyncio
+import io
 import json
 
+from repro.obs import logs
+from repro.obs.manifest import load_manifest
 from repro.service.app import ServiceApp, start_service
+from repro.service.http import request_trace_id
 from repro.service.store import ResultStore
 
 EXPERIMENT_BODY = {"experiment": "table2", "instructions": 20_000, "wait": True}
@@ -226,6 +230,115 @@ class TestEndToEnd:
                 )
                 assert status == 200
                 assert "counters" in record and "gauges" in record
+
+        asyncio.run(body())
+
+
+async def _request_full(port, method, path, body=None, extra_headers=""):
+    """Like ``_request`` but also returns the parsed response headers."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+        f"Connection: close\r\nContent-Length: {len(payload)}\r\n"
+        f"{extra_headers}\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    lines = head_part.decode().split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return int(lines[0].split()[1]), headers, body_part
+
+
+class TestTraceIds:
+    def test_request_trace_id_sanitization(self):
+        assert request_trace_id({"x-repro-trace-id": "client-abc_123"}) == \
+            "client-abc_123"
+        # Malformed or oversized inbound ids are replaced, not honored.
+        for bad in ("bad\nid", "a b", "x" * 200, ""):
+            assigned = request_trace_id({"x-repro-trace-id": bad})
+            assert assigned != bad
+            assert len(assigned) == 32
+        assert len(request_trace_id({})) == 32
+
+    def test_trace_id_propagates_to_job_log_and_manifest(self, tmp_path):
+        """A served request's trace id shows up on the response header,
+        the job record, the structured log lines, and the job's run
+        manifest (the ISSUE's serving-tier acceptance)."""
+        obs_dir = tmp_path / "obs"
+        stream = io.StringIO()
+        logs.configure(stream)
+        try:
+            async def body():
+                async with _Server(
+                    tmp_path / "results", obs_dir=str(obs_dir)
+                ) as served:
+                    status, headers, raw = await _request_full(
+                        served.port, "POST", "/v1/experiments",
+                        EXPERIMENT_BODY,
+                        extra_headers="X-Repro-Trace-Id: client-abc-123\r\n",
+                    )
+                    assert status == 200
+                    assert headers["x-repro-trace-id"] == "client-abc-123"
+                    return json.loads(raw)
+
+            job = asyncio.run(body())
+        finally:
+            logs.configure(None)
+        assert job["trace_id"] == "client-abc-123"
+        # The scheduler wrote the job's manifest under obs_dir, keyed by
+        # the same trace id, with the executed cells re-parented into it.
+        manifest = load_manifest(job["manifest"])
+        assert manifest["trace_id"] == "client-abc-123"
+        assert manifest["cells"]
+        span_ids = {span["span_id"] for span in manifest["spans"]}
+        for span in manifest["spans"]:
+            assert span["trace_id"] == "client-abc-123"
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in span_ids
+        # Structured log lines for the request and the job share the id.
+        events = [json.loads(line) for line in
+                  stream.getvalue().splitlines()]
+        by_event = {record["event"]: record for record in events}
+        assert by_event["http_request"]["trace_id"] == "client-abc-123"
+        assert by_event["http_request"]["path"] == "/v1/experiments"
+        assert by_event["job_finished"]["trace_id"] == "client-abc-123"
+        assert by_event["job_finished"]["status"] == "done"
+
+    def test_malformed_inbound_id_is_replaced(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                status, headers, _ = await _request_full(
+                    served.port, "GET", "/healthz",
+                    extra_headers="X-Repro-Trace-Id: bad id!\r\n",
+                )
+                assert status == 200
+                assigned = headers["x-repro-trace-id"]
+                assert assigned != "bad id!"
+                assert len(assigned) == 32
+
+        asyncio.run(body())
+
+    def test_span_latency_exported_on_metrics(self, tmp_path):
+        async def body():
+            async with _Server(tmp_path / "results") as served:
+                await _json_request(
+                    served.port, "POST", "/v1/experiments", EXPERIMENT_BODY
+                )
+                _, text = await _request(served.port, "GET", "/metrics")
+                assert b"# HELP repro_span_seconds " in text
+                assert b"# TYPE repro_span_seconds histogram" in text
+                assert b'repro_span_seconds_bucket{span="cell"' in text
 
         asyncio.run(body())
 

@@ -86,3 +86,116 @@ class TestRendering:
         histogram = record["histograms"]["phase_seconds"][0]
         assert histogram["labels"] == {"phase": "simulate"}
         assert histogram["count"] == 2
+
+    def test_help_precedes_type_per_family(self):
+        text = self._populated().render_prometheus()
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert lines[index - 1].startswith(f"# HELP {family} "), (
+                    f"{family}: TYPE line not preceded by its HELP line"
+                )
+        # Known families carry their curated help text, not the fallback.
+        assert (
+            "# HELP repro_requests_total HTTP requests received, "
+            in text
+        )
+
+    def test_unknown_family_gets_fallback_help(self):
+        metrics = ServiceMetrics()
+        metrics.inc("bespoke_total")
+        assert (
+            "# HELP repro_bespoke_total Service metric bespoke_total."
+            in metrics.render_prometheus()
+        )
+
+    def test_label_values_escaped(self):
+        metrics = ServiceMetrics()
+        metrics.inc(
+            "requests_total",
+            {"endpoint": 'tricky"quote\\slash\nnewline'},
+        )
+        text = metrics.render_prometheus()
+        assert (
+            'repro_requests_total{endpoint='
+            '"tricky\\"quote\\\\slash\\nnewline"} 1'
+        ) in text
+        # The physical output line must not be split by the newline.
+        assert len(
+            [l for l in text.splitlines() if "tricky" in l]
+        ) == 1
+
+
+def _parse_exposition(text: str) -> dict:
+    """A strict mini-parser of the Prometheus text format.
+
+    Enforces the grammar a real scraper relies on: every sample line is
+    ``name{labels} value``, every sample's family has HELP and TYPE
+    announced before it, and label values unescape cleanly.
+    """
+    families: dict[str, str] = {}
+    helped: set[str] = set()
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split()
+            assert family in helped, f"{family}: TYPE before HELP"
+            assert kind in ("counter", "gauge", "histogram")
+            families[family] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        name_and_labels, _, value = line.rpartition(" ")
+        name, brace, labels = name_and_labels.partition("{")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+        assert family in families, f"sample {name} has no TYPE"
+        if brace:
+            assert labels.endswith("}"), f"unterminated labels: {line!r}"
+            body = labels[:-1]
+            # Label values must be quoted and unescape cleanly.
+            for pair in _split_label_pairs(body):
+                key, _, quoted = pair.partition("=")
+                assert quoted.startswith('"') and quoted.endswith('"')
+                quoted[1:-1].encode().decode("unicode_escape")
+        samples[name_and_labels] = float(value)
+    return samples
+
+
+def _split_label_pairs(body: str) -> list[str]:
+    pairs, depth, current = [], False, []
+    for char in body:
+        if char == '"' and (not current or current[-1] != "\\"):
+            depth = not depth
+        if char == "," and not depth:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+class TestExpositionParses:
+    def test_full_rendering_parses(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", {"endpoint": "GET /metrics"})
+        metrics.inc("jobs_executed_total", {"kind": "experiment"})
+        metrics.set_gauge("queue_depth", 3)
+        metrics.observe("span_seconds", 0.25, {"span": "cell"})
+        metrics.observe(
+            "phase_seconds", 1.5, {"phase": 'weird"phase\\name'}
+        )
+        samples = _parse_exposition(metrics.render_prometheus())
+        assert samples['repro_requests_total{endpoint="GET /metrics"}'] == 1
+        assert samples["repro_queue_depth"] == 3
+        assert samples['repro_span_seconds_count{span="cell"}'] == 1
+        assert any("weird" in key for key in samples)

@@ -8,6 +8,12 @@ Run from the repository root:
 
     python tools/bench_smoke.py [--experiment table5] [--instructions N]
                                 [--jobs N] [--cache-dir DIR] [--out FILE]
+                                [--obs-dir DIR]
+
+With ``--obs-dir`` the whole benchmark runs traced: a run manifest and
+its Perfetto-loadable chrome-trace export land in the directory, and
+the output record's ``obs`` section links them (so a BENCH entry can be
+joined to its full span timeline by trace id).
 
 With no ``--cache-dir`` a temporary directory is used and removed
 afterwards.  The interesting fields of the output: the cold run's
@@ -24,12 +30,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import tempfile
 import time
+from contextlib import contextmanager
 
 from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, figure6
 from repro.experiments.common import ExperimentSettings
+from repro.obs import tracing
+from repro.obs.export import to_chrome_trace
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.runner.cache import TraceDiskCache
 from repro.runner.pool import run_experiment
 from repro.workloads.registry import clear_trace_cache, set_trace_cache_backend
@@ -74,6 +85,7 @@ def bench(
     n_instructions: int = 100_000,
     jobs: int = 1,
     cache_dir: str | None = None,
+    obs_dir: str | None = None,
 ) -> dict:
     """Cold-then-warm timing of one experiment; returns the JSON record."""
     registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -87,18 +99,26 @@ def bench(
     backend = TraceDiskCache(cache_dir)
     set_trace_cache_backend(backend)
     try:
-        clear_trace_cache()
-        cold_result, cold = run_experiment(
-            module, settings, jobs=jobs, label=experiment
-        )
-        clear_trace_cache()  # warm = fresh process, populated disk
-        warm_result, warm = run_experiment(
-            module, settings, jobs=jobs, label=experiment
-        )
-        if cold_result.render() != warm_result.render():
-            raise AssertionError("warm rerun changed the experiment output")
-        fetch = bench_fetch(n_instructions)
-        return {
+        with tracing.run(
+            "bench-smoke", command="bench_smoke", experiment=experiment
+        ) if obs_dir else _untraced() as recorder:
+            clear_trace_cache()
+            with tracing.span("cold"):
+                cold_result, cold = run_experiment(
+                    module, settings, jobs=jobs, label=experiment
+                )
+            clear_trace_cache()  # warm = fresh process, populated disk
+            with tracing.span("warm"):
+                warm_result, warm = run_experiment(
+                    module, settings, jobs=jobs, label=experiment
+                )
+            if cold_result.render() != warm_result.render():
+                raise AssertionError(
+                    "warm rerun changed the experiment output"
+                )
+            with tracing.span("fetch-compare"):
+                fetch = bench_fetch(n_instructions)
+        record = {
             "fetch": fetch,
             "experiment": experiment,
             "n_instructions": n_instructions,
@@ -114,11 +134,46 @@ def bench(
                 else None
             ),
         }
+        if obs_dir and recorder is not None:
+            record["obs"] = _write_obs(recorder, obs_dir, record)
+        return record
     finally:
         set_trace_cache_backend(None)
         clear_trace_cache()
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
+
+
+@contextmanager
+def _untraced():
+    """Stand-in for :func:`repro.obs.tracing.run` when tracing is off."""
+    yield None
+
+
+def _write_obs(recorder, obs_dir: str, record: dict) -> dict:
+    """Write the manifest + chrome-trace export; return their paths."""
+    manifest = build_manifest(
+        recorder,
+        extra={
+            "command": "bench_smoke",
+            "experiment": record["experiment"],
+            "n_instructions": record["n_instructions"],
+            "jobs": record["jobs"],
+            "speedup": record["speedup"],
+        },
+    )
+    manifest_path = write_manifest(manifest, obs_dir)
+    trace_path = os.path.join(
+        obs_dir, f"chrome-trace-{manifest['trace_id'][:12]}.json"
+    )
+    with open(trace_path, "w") as handle:
+        json.dump(to_chrome_trace(manifest), handle)
+        handle.write("\n")
+    return {
+        "trace_id": manifest["trace_id"],
+        "manifest": manifest_path,
+        "chrome_trace": trace_path,
+    }
 
 
 def main() -> None:
@@ -128,10 +183,15 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--cache-dir")
     parser.add_argument("--out", default="bench_smoke.json")
+    parser.add_argument(
+        "--obs-dir",
+        help="trace the benchmark; write manifest + chrome-trace here",
+    )
     args = parser.parse_args()
 
     record = bench(
-        args.experiment, args.instructions, args.jobs, args.cache_dir
+        args.experiment, args.instructions, args.jobs, args.cache_dir,
+        obs_dir=args.obs_dir,
     )
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
@@ -154,6 +214,12 @@ def main() -> None:
         f"({fetch['speedup']:.1f}x, renders "
         f"{'identical' if fetch['renders_identical'] else 'DIVERGED'})"
     )
+    if "obs" in record:
+        print(
+            f"trace {record['obs']['trace_id']}: "
+            f"manifest {record['obs']['manifest']}, "
+            f"chrome trace {record['obs']['chrome_trace']}"
+        )
     print(f"wrote {args.out}")
 
 
