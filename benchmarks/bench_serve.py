@@ -1,0 +1,197 @@
+"""Serving-tier throughput benchmark (the ``BENCH_serve.json`` gate).
+
+End-to-end shape of the serving story:
+
+1. **Warm** — pre-compute the evaluate grid for one suite into the
+   result store (:mod:`repro.service.warm`), so the measured traffic is
+   the steady-state store-hit path, not simulation.
+2. **Serve** — launch ``python -m repro serve`` as a real subprocess
+   over the same cache directory and wait for ``/healthz``.
+3. **Drive** — run a seeded closed-loop Zipf stream over that grid
+   (:mod:`repro.loadgen`) and record throughput + p50/p95/p99/p999 to
+   the ``BENCH_serve.json`` trajectory.
+4. **Stop** — SIGTERM the server and require a clean graceful-drain
+   exit; a hung or crashed shutdown fails the benchmark.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+        [--suite ibs-mach3] [--instructions 20000] [--clients 4]
+        [--requests 200] [--out BENCH_serve.json]
+        [--check-against FILE] [--min-throughput-ratio 0.8]
+
+``--check-against`` gates the fresh throughput against the last record
+of the same benchmark in a committed trajectory — relative (default
+0.8x), since absolute req/s is machine-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.loadgen import report as lg_report
+from repro.loadgen.driver import LoadConfig, run_load
+from repro.loadgen.workload import Workload
+from repro.experiments.common import ExperimentSettings
+from repro.service.store import ResultStore
+from repro.service.warm import warm_plan, warm_store
+from repro.workloads.registry import suite_workloads
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _wait_healthy(port: int, timeout: float = 30.0) -> None:
+    deadline = time.time() + timeout
+    url = f"http://127.0.0.1:{port}/healthz"
+    while time.time() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=2) as response:
+                if response.status == 200:
+                    return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.1)
+    raise RuntimeError(f"server on port {port} never became healthy")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", default="ibs-mach3")
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the warm phase")
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--warmup-requests", type=int, default=0)
+    parser.add_argument("--skew", choices=["zipf", "uniform"],
+                        default="zipf")
+    parser.add_argument("--theta", type=float, default=0.99)
+    parser.add_argument("--stream-seed", type=int, default=0)
+    parser.add_argument("--benchmark", default="serve_closed_grid")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--check-against", metavar="FILE")
+    parser.add_argument("--min-throughput-ratio", type=float, default=0.8)
+    args = parser.parse_args()
+
+    cache_dir = pathlib.Path(args.cache_dir)
+    settings = ExperimentSettings(
+        n_instructions=args.instructions, seed=args.seed
+    )
+
+    # 1. Warm the store in-process over the serve-side cache directory.
+    store = ResultStore(cache_dir / "results")
+    plan = warm_plan(suite=args.suite, settings=settings)
+    tally = warm_store(store, plan, jobs=args.jobs)
+    print(
+        f"warm: {tally['stored']} computed, {tally['skipped']} already "
+        f"stored ({tally['seconds']:.1f}s, {tally['store_entries']} "
+        f"entries in store)"
+    )
+
+    # 2. A real server subprocess over the same store.
+    port = _free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro",
+            "--instructions", str(args.instructions),
+            "--seed", str(args.seed),
+            "--cache-dir", str(cache_dir),
+            "serve", "--port", str(port),
+            "--max-inflight", "4", "--max-queue", "256",
+        ],
+        env=env,
+    )
+    try:
+        _wait_healthy(port)
+
+        # 3. The seeded closed-loop stream over the warmed grid.
+        workload = Workload.grid(
+            skew=args.skew,
+            theta=args.theta,
+            seed=args.stream_seed,
+            n_instructions=args.instructions,
+            trace_seed=args.seed,
+            suite_pairs=suite_workloads(args.suite),
+        )
+        config = LoadConfig(
+            host="127.0.0.1",
+            port=port,
+            mode="closed",
+            clients=args.clients,
+            max_requests=args.requests,
+            duration_seconds=3600.0,
+        )
+        result = run_load(workload, config)
+    finally:
+        # 4. Graceful stop: SIGTERM must drain and exit cleanly.
+        server.send_signal(signal.SIGTERM)
+        try:
+            returncode = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+            print("server did not drain within 30s of SIGTERM",
+                  file=sys.stderr)
+            return 1
+    if returncode != 0:
+        print(f"server exited {returncode} on SIGTERM (expected 0)",
+              file=sys.stderr)
+        return 1
+
+    summary = result.summary()
+    if summary["completed"] != summary["requests"]:
+        print(
+            f"warmed run had non-ok responses: {summary['outcomes']}",
+            file=sys.stderr,
+        )
+        return 1
+    record = lg_report.build_record(
+        args.benchmark,
+        summary,
+        workload_meta=workload.describe(),
+        run_meta={
+            "mode": "closed",
+            "clients": args.clients,
+            "suite": args.suite,
+            "n_instructions": args.instructions,
+            "warmed_cells": len(plan),
+        },
+    )
+    print(lg_report.render_record(record))
+
+    out = pathlib.Path(args.out)
+    length = lg_report.append_record(record, out)
+    print(f"appended to {out} ({length} record(s))")
+
+    if args.check_against:
+        message = lg_report.check_throughput_regression(
+            record, pathlib.Path(args.check_against),
+            args.min_throughput_ratio,
+        )
+        if message is not None:
+            print(message, file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Workload-replay load generation for the serving tier.
+
+The subsystem that answers "does ``repro serve`` survive heavy
+traffic?": deterministic seeded request streams over the experiment
+grid (:mod:`~repro.loadgen.workload`), open- and closed-loop asyncio
+drivers with per-request latency recording
+(:mod:`~repro.loadgen.driver`), tail-percentile summaries
+(:mod:`~repro.loadgen.stats`), and the ``BENCH_serve.json`` trajectory
+plus its CI gate (:mod:`~repro.loadgen.report`).
+
+Exposed on the CLI as ``repro loadgen run | report`` and scripted by
+``benchmarks/bench_serve.py``.
+"""
+
+from repro.loadgen.driver import LoadConfig, LoadResult, run_load
+from repro.loadgen.stats import LatencyRecorder, Sample, percentiles, summarize
+from repro.loadgen.workload import (
+    GRID_CONFIGS,
+    Request,
+    ReqGenEngine,
+    Workload,
+    grid_population,
+)
+
+__all__ = [
+    "GRID_CONFIGS",
+    "LatencyRecorder",
+    "LoadConfig",
+    "LoadResult",
+    "Request",
+    "ReqGenEngine",
+    "Sample",
+    "Workload",
+    "grid_population",
+    "percentiles",
+    "run_load",
+    "summarize",
+]

@@ -1,0 +1,130 @@
+"""``BENCH_serve.json`` trajectory records, rendering, and the CI gate.
+
+Same trajectory discipline as ``BENCH_fetch.json`` /
+``BENCH_workloads.json``: the file is a JSON list of records, each run
+appends, and CI gates a fresh record against the last *committed*
+record of the same benchmark.  For serving the gated quantity is
+closed-loop throughput on a warmed store — machine-dependent in
+absolute terms, so the gate is relative (default 0.8x), exactly like
+the fetch/workloads speedup gates.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+__all__ = [
+    "build_record",
+    "check_throughput_regression",
+    "load_trajectory",
+    "append_record",
+    "render_trajectory",
+]
+
+
+def _timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def build_record(
+    benchmark: str,
+    summary: dict,
+    *,
+    workload_meta: dict,
+    run_meta: dict | None = None,
+) -> dict:
+    """One trajectory record from a load summary plus stream identity."""
+    record = {
+        "benchmark": benchmark,
+        "timestamp": _timestamp(),
+        **summary,
+        "workload": workload_meta,
+    }
+    if run_meta:
+        record.update(run_meta)
+    return record
+
+
+def load_trajectory(path: pathlib.Path) -> list[dict]:
+    """The committed trajectory, or an empty one for a fresh file."""
+    if not path.exists():
+        return []
+    trajectory = json.loads(path.read_text())
+    if not isinstance(trajectory, list):
+        raise ValueError(f"{path} is not a trajectory (expected a JSON list)")
+    return trajectory
+
+
+def append_record(record: dict, path: pathlib.Path) -> int:
+    """Append one record; returns the trajectory's new length."""
+    trajectory = load_trajectory(path)
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return len(trajectory)
+
+
+def check_throughput_regression(
+    record: dict, baseline_path: pathlib.Path, min_ratio: float
+) -> str | None:
+    """``None`` if acceptable, else a message describing the regression.
+
+    Gates ``throughput_rps`` against the last committed record of the
+    same benchmark name; a fresh benchmark (no history) passes.
+    """
+    name = record["benchmark"]
+    history = [
+        entry
+        for entry in load_trajectory(baseline_path)
+        if entry.get("benchmark") == name
+    ]
+    if not history:
+        return None
+    baseline = history[-1]["throughput_rps"]
+    floor = min_ratio * baseline
+    if record["throughput_rps"] < floor:
+        return (
+            f"{name}: serving throughput regressed: "
+            f"{record['throughput_rps']:.1f} req/s vs baseline "
+            f"{baseline:.1f} req/s (floor {floor:.1f})"
+        )
+    return None
+
+
+def render_record(record: dict) -> str:
+    """One record as a human-readable block."""
+    latency = record.get("latency_seconds", {})
+    lines = [
+        f"{record.get('benchmark', '?')}  @ {record.get('timestamp', '?')}",
+        f"  requests:   {record.get('requests', 0):,} "
+        f"({record.get('completed', 0):,} completed) over "
+        f"{record.get('measure_seconds', 0):.2f}s",
+        f"  throughput: {record.get('throughput_rps', 0):.1f} req/s "
+        f"(offered {record.get('offered_rps', 0):.1f} req/s)",
+        "  latency:    "
+        + "  ".join(
+            f"{label}={latency.get(label, 0) * 1000:.2f}ms"
+            for label in ("p50", "p95", "p99", "p999")
+        ),
+    ]
+    statuses = record.get("statuses")
+    if statuses:
+        rendered = ", ".join(f"{k}: {v}" for k, v in sorted(statuses.items()))
+        lines.append(f"  statuses:   {rendered}")
+    workload = record.get("workload")
+    if workload:
+        lines.append(
+            f"  stream:     {workload.get('skew')}"
+            f"(theta={workload.get('theta')}) over "
+            f"{workload.get('population')} cells, "
+            f"seed={workload.get('stream_seed')}"
+        )
+    return "\n".join(lines)
+
+
+def render_trajectory(trajectory: list[dict]) -> str:
+    """The whole trajectory, newest last (``repro loadgen report``)."""
+    if not trajectory:
+        return "no records"
+    return "\n\n".join(render_record(record) for record in trajectory)

@@ -43,7 +43,12 @@ from repro.service.http import (
     request_trace_id,
 )
 from repro.service.metrics import ServiceMetrics
-from repro.service.scheduler import CONFIGS, EvaluateRequest, JobScheduler
+from repro.service.scheduler import (
+    CONFIGS,
+    AdmissionError,
+    EvaluateRequest,
+    JobScheduler,
+)
 from repro.service.store import ResultStore
 from repro.caches.vectorized import order_cache_stats
 from repro.workloads.generator import GENERATOR_VERSION
@@ -76,18 +81,30 @@ class ServiceApp:
         scheduler: JobScheduler | None = None,
         jobs: int = 1,
         batch_window: float = 0.0,
+        max_inflight: int = 4,
+        max_queue: int | None = None,
         obs_dir: str | None = None,
     ):
         self.metrics = metrics or ServiceMetrics()
         self.store = store if store is not None else ResultStore(None)
         self.scheduler = scheduler or JobScheduler(
             self.store, self.metrics, jobs=jobs, batch_window=batch_window,
-            obs_dir=obs_dir,
+            max_inflight=max_inflight, max_queue=max_queue, obs_dir=obs_dir,
         )
         self.started_at = time.time()
 
     def close(self) -> None:
         self.scheduler.close()
+
+    async def shutdown(self, timeout: float | None = 30.0) -> dict:
+        """Graceful stop: drain the scheduler, then release resources.
+
+        In-flight jobs get ``timeout`` seconds to finish; stragglers are
+        reported ``cancelled``.  Returns the drain tally.
+        """
+        tally = await self.scheduler.drain(timeout=timeout)
+        self.scheduler.close()
+        return tally
 
     # -- connection handling -------------------------------------------
 
@@ -136,6 +153,15 @@ class ServiceApp:
             response = await self._route(request, trace_id)
         except HttpError as exc:
             response = Response.error(exc.status, exc.message)
+        except AdmissionError as exc:
+            # Overload is answered, not dropped: 429 plus a Retry-After
+            # hint derived from the scheduler's service-time estimate.
+            response = Response.error(
+                HTTPStatus.TOO_MANY_REQUESTS, str(exc)
+            )
+            response.headers = response.headers + (
+                ("Retry-After", str(exc.retry_after)),
+            )
         except Exception as exc:  # noqa: BLE001 - the server must answer
             response = Response.error(
                 HTTPStatus.INTERNAL_SERVER_ERROR,
@@ -176,13 +202,24 @@ class ServiceApp:
     # -- endpoints -----------------------------------------------------
 
     def _healthz(self) -> Response:
+        """Liveness plus admission state, so a load generator (or CI)
+        can detect overload without inferring it from 429 rates."""
+        scheduler = self.scheduler
+        state = scheduler.admission_state
         return Response.from_json(
             {
-                "status": "ok",
+                "status": "ok" if state == "accepting" else state,
                 "version": package_version(),
                 "generator_version": GENERATOR_VERSION,
                 "uptime_seconds": time.time() - self.started_at,
-                "queue_depth": self.scheduler.queue_depth,
+                "queue_depth": scheduler.queue_depth,
+                "admission": {
+                    "state": state,
+                    "queued": scheduler.queued_count,
+                    "inflight": scheduler.inflight_count,
+                    "max_queue": scheduler.max_queue,
+                    "max_inflight": scheduler.max_inflight,
+                },
                 "store": {
                     "persistent": self.store.persistent,
                     "root": self.store.root,
@@ -194,6 +231,8 @@ class ServiceApp:
 
     def _metrics(self, request: Request) -> Response:
         self.metrics.set_gauge("queue_depth", self.scheduler.queue_depth)
+        self.metrics.set_gauge("inflight_jobs", self.scheduler.inflight_count)
+        self.metrics.set_gauge("queued_jobs", self.scheduler.queued_count)
         self.metrics.set_gauge("result_store_entries", len(self.store))
         self.metrics.set_gauge("result_store_bytes", self.store.current_bytes)
         traces = trace_cache_stats()
@@ -333,12 +372,46 @@ async def start_service(
     return await asyncio.start_server(app.handle_connection, host, port)
 
 
-async def _serve_forever(app: ServiceApp, host: str, port: int) -> None:
+async def _serve_forever(
+    app: ServiceApp, host: str, port: int, drain_timeout: float = 30.0
+) -> None:
+    """Serve until SIGINT/SIGTERM, then drain before exiting.
+
+    The stop signal closes the listening socket first (no new
+    connections), then drains the scheduler: in-flight jobs get
+    ``drain_timeout`` seconds to finish; stragglers report
+    ``cancelled``.  ``/healthz`` shows ``draining`` for the duration.
+    """
+    import signal
+
     server = await start_service(app, host, port)
     bound = server.sockets[0].getsockname()
     print(f"repro serve: listening on http://{bound[0]}:{bound[1]}")
-    async with server:
-        await server.serve_forever()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-unix event loop: KeyboardInterrupt path below
+    try:
+        async with server:
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            await stop.wait()
+            print("repro serve: draining")
+            server.close()
+            await server.wait_closed()
+            serve_task.cancel()
+            tally = await app.shutdown(timeout=drain_timeout)
+            print(
+                f"repro serve: drained ({tally['finished']} finished, "
+                f"{tally['cancelled']} cancelled)"
+            )
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
 
 
 def run_service(
@@ -348,14 +421,18 @@ def run_service(
     store: ResultStore | None = None,
     jobs: int = 1,
     batch_window: float = 0.0,
+    max_inflight: int = 4,
+    max_queue: int | None = None,
+    drain_timeout: float = 30.0,
     obs_dir: str | None = None,
 ) -> int:
     """Blocking entry point behind ``repro serve``."""
     app = ServiceApp(
-        store=store, jobs=jobs, batch_window=batch_window, obs_dir=obs_dir
+        store=store, jobs=jobs, batch_window=batch_window,
+        max_inflight=max_inflight, max_queue=max_queue, obs_dir=obs_dir,
     )
     try:
-        asyncio.run(_serve_forever(app, host, port))
+        asyncio.run(_serve_forever(app, host, port, drain_timeout))
     except KeyboardInterrupt:
         print("repro serve: shutting down")
     finally:

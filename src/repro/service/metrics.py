@@ -41,6 +41,13 @@ METRIC_HELP = {
     "jobs_failed_total": "Jobs that raised, by kind.",
     "job_seconds": "Job execution latency, by kind.",
     "queue_depth": "Jobs currently queued or running.",
+    "queue_wait_seconds": "Time jobs spent queued before executing.",
+    "inflight_jobs": "Jobs currently executing on worker threads.",
+    "queued_jobs": "Admitted jobs waiting for a worker thread.",
+    "admission_total": (
+        "Admission decisions, by decision "
+        "(accepted/shed/coalesced/store-hit)."
+    ),
     "eval_batches_total": "Evaluate batches flushed to the pool.",
     "eval_batch_size": "Evaluate requests per flushed batch.",
     "result_store_hits_total": "Jobs answered from the result store.",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
@@ -49,11 +50,29 @@ PENDING = "pending"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = "cancelled"
 
 #: Named memory-system configurations accepted by evaluate requests.
 CONFIGS = ("economy", "high-performance")
 
+#: Admission states reported on ``/healthz``.
+ACCEPTING = "accepting"
+SHEDDING = "shedding"
+DRAINING = "draining"
+
 _job_counter = itertools.count(1)
+
+
+class AdmissionError(Exception):
+    """The scheduler refused new work (queue full or draining).
+
+    Carries the ``Retry-After`` hint the HTTP layer sends with the 429:
+    a service-time estimate of when a slot is likely to free up.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def _named_config(config_name: str) -> MemorySystemConfig:
@@ -140,11 +159,13 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.status in (DONE, FAILED)
+        return self.status in (DONE, FAILED, CANCELLED)
 
     def _complete(
         self, result: dict, rendering: str | None, source: str
     ) -> None:
+        if self.finished:
+            return  # a drain already cancelled this job; keep that verdict
         self.result = result
         self.rendering = rendering
         self.source = source
@@ -153,8 +174,19 @@ class Job:
         self._event.set()
 
     def _fail(self, error: str) -> None:
+        if self.finished:
+            return
         self.error = error
         self.status = FAILED
+        self.finished_at = time.time()
+        self._event.set()
+
+    def _cancel(self) -> None:
+        """Terminal 'cancelled' state: shutdown arrived before the work."""
+        if self.finished:
+            return
+        self.error = "cancelled by server shutdown"
+        self.status = CANCELLED
         self.finished_at = time.time()
         self._event.set()
 
@@ -241,7 +273,8 @@ class JobScheduler:
         *,
         jobs: int = 1,
         batch_window: float = 0.0,
-        max_workers: int = 4,
+        max_inflight: int = 4,
+        max_queue: int | None = None,
         max_finished_jobs: int = 1024,
         obs_dir: str | None = None,
     ):
@@ -250,6 +283,22 @@ class JobScheduler:
         self.jobs = jobs
         self.batch_window = batch_window
         self.obs_dir = obs_dir
+        if max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        if max_queue is not None and max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        #: Executor threads concurrently executing jobs.
+        self.max_inflight = max_inflight
+        #: Admitted-but-not-finished jobs allowed beyond ``max_inflight``
+        #: (``None`` = unbounded, the pre-admission-control behaviour).
+        self.max_queue = max_queue
+        self._draining = False
+        self._executing = 0
+        self._counters_lock = threading.Lock()
+        # Decayed mean job latency, feeding the Retry-After estimate.
+        self._avg_job_seconds = 0.0
         # Every finished span of a traced job lands in a per-span-name
         # latency histogram, so /metrics exposes the span-derived
         # breakdown (run vs cell vs evaluate) alongside phase_seconds.
@@ -257,7 +306,7 @@ class JobScheduler:
             "span_seconds", record["wall_seconds"], {"span": record["name"]}
         )
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-job"
+            max_workers=max_inflight, thread_name_prefix="repro-job"
         )
         self._inflight: dict[str, Job] = {}
         self._jobs: dict[str, Job] = {}
@@ -293,11 +342,55 @@ class JobScheduler:
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Detach from the timing feed and stop the worker threads."""
+        """Detach from the timing feed and stop the worker threads.
+
+        Idempotent; safe after :meth:`drain`.  Does not wait for
+        in-flight work — the graceful path is ``await drain()`` first.
+        """
+        self._draining = True
         timing.remove_phase_observer(self._phase_observer)
         registry.remove_trace_cache_observer(self._trace_cache_observer)
         dispatch.remove_observer(self._dispatch_observer)
         self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def drain(self, timeout: float | None = None) -> dict:
+        """Stop admitting, flush batches, and settle every in-flight job.
+
+        New submissions shed with 503-style :class:`AdmissionError`
+        immediately.  Pending evaluate batch windows flush now rather
+        than at their timers.  Jobs still unfinished after ``timeout``
+        seconds are marked ``cancelled`` (their executor futures are
+        cancelled where still queued; a body already on a thread runs to
+        completion but its result is discarded by the terminal-state
+        guard).  Returns ``{"finished": n, "cancelled": n}``.
+        """
+        self._draining = True
+        for signature in list(self._pending_eval):
+            self._schedule_flush(signature)
+        pending = [job for job in self._inflight.values() if not job.finished]
+        if pending:
+            waiters = [
+                asyncio.ensure_future(job.wait()) for job in pending
+            ]
+            _done, not_done = await asyncio.wait(waiters, timeout=timeout)
+            for waiter in not_done:
+                waiter.cancel()
+        cancelled = 0
+        for job in list(self._inflight.values()):
+            if not job.finished:
+                job._cancel()
+                cancelled += 1
+                log_event(
+                    "job_finished",
+                    trace_id=job.trace_id,
+                    job=job.id,
+                    kind=job.kind,
+                    name=job.name,
+                    status=job.status,
+                )
+            self._inflight.pop(job.key, None)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        return {"finished": len(pending) - cancelled, "cancelled": cancelled}
 
     # -- introspection -------------------------------------------------
 
@@ -305,6 +398,80 @@ class JobScheduler:
     def queue_depth(self) -> int:
         """Jobs submitted but not yet finished."""
         return len(self._inflight)
+
+    @property
+    def inflight_count(self) -> int:
+        """Jobs currently executing on the worker threads."""
+        return self._executing
+
+    @property
+    def queued_count(self) -> int:
+        """Admitted jobs waiting for a worker thread."""
+        return max(0, len(self._inflight) - self._executing)
+
+    @property
+    def admission_state(self) -> str:
+        """``accepting`` | ``shedding`` | ``draining`` (for /healthz)."""
+        if self._draining:
+            return DRAINING
+        if self._over_capacity():
+            return SHEDDING
+        return ACCEPTING
+
+    def _over_capacity(self) -> bool:
+        if self.max_queue is None:
+            return False
+        return len(self._inflight) >= self.max_queue + self.max_inflight
+
+    def _retry_after(self) -> int:
+        """Seconds until a queue slot plausibly frees up, clamped [1, 60].
+
+        Little's-law flavoured estimate: occupancy times the decayed
+        mean job latency, divided by the worker width.
+        """
+        if self._avg_job_seconds <= 0:
+            return 1
+        estimate = (
+            len(self._inflight) * self._avg_job_seconds / self.max_inflight
+        )
+        return max(1, min(60, int(estimate + 0.5)))
+
+    def _admit(self, kind: str) -> None:
+        """Gate one new-work submission; raises when over capacity."""
+        if self._draining:
+            self.metrics.inc("admission_total", {"decision": "shed"})
+            raise AdmissionError("server is draining", self._retry_after())
+        if self._over_capacity():
+            self.metrics.inc("admission_total", {"decision": "shed"})
+            raise AdmissionError(
+                f"queue full ({len(self._inflight)} jobs in flight, "
+                f"max_queue={self.max_queue}, "
+                f"max_inflight={self.max_inflight})",
+                self._retry_after(),
+            )
+        self.metrics.inc("admission_total", {"decision": "accepted"})
+
+    def _jobs_started(self, created_ats: list[float]) -> None:
+        """Executor-thread entry bookkeeping: queue wait + inflight."""
+        now = time.time()
+        with self._counters_lock:
+            self._executing += len(created_ats)
+        for created_at in created_ats:
+            self.metrics.observe(
+                "queue_wait_seconds", max(0.0, now - created_at)
+            )
+
+    def _jobs_settled(self, jobs_settled: int, job_seconds: float) -> None:
+        with self._counters_lock:
+            self._executing = max(0, self._executing - jobs_settled)
+            # EWMA with a 0.2 step: responsive to load shifts, stable
+            # under jitter; feeds the Retry-After estimate only.
+            if self._avg_job_seconds == 0.0:
+                self._avg_job_seconds = job_seconds
+            else:
+                self._avg_job_seconds += 0.2 * (
+                    job_seconds - self._avg_job_seconds
+                )
 
     def get_job(self, job_id: str) -> Job | None:
         return self._jobs.get(job_id)
@@ -327,6 +494,7 @@ class JobScheduler:
         if job is not None:
             job.coalesced += 1
             self.metrics.inc("jobs_coalesced_total")
+            self.metrics.inc("admission_total", {"decision": "coalesced"})
         return job
 
     def _check_store(self, job: Job) -> bool:
@@ -336,6 +504,10 @@ class JobScheduler:
             self.metrics.inc("result_store_misses_total")
             return False
         self.metrics.inc("result_store_hits_total")
+        # A store hit costs no compute, so it is always admitted — even
+        # while shedding; that is what makes a warmed tier ride out
+        # overload.
+        self.metrics.inc("admission_total", {"decision": "store-hit"})
         job._complete(payload, self.store.get_rendering(job.key), "store")
         return True
 
@@ -356,6 +528,13 @@ class JobScheduler:
         self.metrics.inc("jobs_submitted_total", {"kind": "experiment"})
         if self._check_store(job):
             return job
+        try:
+            self._admit("experiment")
+        except AdmissionError:
+            # Shed before the job ever entered the queue; drop it from
+            # the ledger so the 429'd request leaves no pending ghost.
+            self._jobs.pop(job.id, None)
+            raise
         self._inflight[key] = job
         job.status = RUNNING
         asyncio.ensure_future(self._run_experiment_job(job, name, module, settings))
@@ -377,16 +556,21 @@ class JobScheduler:
         ``run_in_executor``), so the recorder must be bound *here*, not
         on the event loop.
         """
-        with tracing.run(
-            name,
-            trace_id=job.trace_id,
-            on_span=self._span_observer,
-            job=job.id,
-            kind="experiment",
-        ) as recorder:
-            result, report = run_experiment(
-                module, settings, self.jobs, name
-            )
+        self._jobs_started([job.created_at])
+        started = time.perf_counter()
+        try:
+            with tracing.run(
+                name,
+                trace_id=job.trace_id,
+                on_span=self._span_observer,
+                job=job.id,
+                kind="experiment",
+            ) as recorder:
+                result, report = run_experiment(
+                    module, settings, self.jobs, name
+                )
+        finally:
+            self._jobs_settled(1, time.perf_counter() - started)
         manifest_path = self._finish_manifest(
             recorder,
             extra={
@@ -419,6 +603,12 @@ class JobScheduler:
                 "phase_totals": report.phase_totals,
             }
             rendering = result.render()
+        except asyncio.CancelledError:
+            # Shutdown cancelled the executor future before (or while)
+            # the body ran; report the job cancelled, never silent.
+            job._cancel()
+            self._inflight.pop(job.key, None)
+            return
         except Exception as exc:
             self.metrics.inc("jobs_failed_total", {"kind": "experiment"})
             job._fail(str(exc))
@@ -458,6 +648,11 @@ class JobScheduler:
         self.metrics.inc("jobs_submitted_total", {"kind": "evaluate"})
         if self._check_store(job):
             return job
+        try:
+            self._admit("evaluate")
+        except AdmissionError:
+            self._jobs.pop(job.id, None)
+            raise
         self._inflight[key] = job
         job.status = RUNNING
         signature = request.batch_signature
@@ -530,7 +725,13 @@ class JobScheduler:
             results, manifest_path = await loop.run_in_executor(
                 self._executor, self._execute_eval_batch,
                 cells, batch[0][1].trace_id, requests_meta,
+                [job.created_at for _, job in batch],
             )
+        except asyncio.CancelledError:
+            for _, job in batch:
+                job._cancel()
+                self._inflight.pop(job.key, None)
+            return
         except Exception as exc:
             for _, job in batch:
                 self.metrics.inc("jobs_failed_total", {"kind": "evaluate"})
@@ -568,16 +769,27 @@ class JobScheduler:
         self.metrics.observe("job_seconds", elapsed, {"kind": "evaluate"})
 
     def _execute_eval_batch(
-        self, cells: list[ExperimentCell], trace_id: str, requests_meta: list
+        self,
+        cells: list[ExperimentCell],
+        trace_id: str,
+        requests_meta: list,
+        created_ats: list[float],
     ):
         """Executor-thread body of one evaluate flush, traced end to end."""
-        with tracing.run(
-            "evaluate-batch",
-            trace_id=trace_id,
-            on_span=self._span_observer,
-            batch_size=len(requests_meta),
-        ) as recorder:
-            results, _ = run_cells(cells, self.jobs)
+        self._jobs_started(created_ats)
+        started = time.perf_counter()
+        try:
+            with tracing.run(
+                "evaluate-batch",
+                trace_id=trace_id,
+                on_span=self._span_observer,
+                batch_size=len(requests_meta),
+            ) as recorder:
+                results, _ = run_cells(cells, self.jobs)
+        finally:
+            self._jobs_settled(
+                len(created_ats), time.perf_counter() - started
+            )
         manifest_path = self._finish_manifest(
             recorder,
             extra={

@@ -14,9 +14,21 @@ Layout mirrors the trace cache: one directory per entry under the
 store root (conventionally ``<cache-dir>/results``), holding
 ``meta.json`` (the JSON payload) plus an optional ``rendering.txt``
 (the rendered table, kept as raw bytes so large renderings stay out of
-the JSON).  Writes stage into a temp directory and rename into place,
-so concurrent writers and interrupted stores never publish a partial
-entry.
+the JSON).  Writes stage into a temp directory (files fsynced before
+publish) and atomically rename into place, so concurrent writers and
+interrupted stores never publish a partial entry — a torn write leaves
+only a ``.staging-*`` directory the scanner ignores.
+
+The store is safe under concurrent *processes* sharing one root (the
+warm tier and a live server, or several servers):
+
+* a key published by another process is adopted on first lookup
+  instead of being reported missing (and a loser in a publish race
+  adopts the winner's entry — the content under one key is identical
+  by construction);
+* eviction and publish hold a cross-process ``flock`` on
+  ``<root>/.lock``, so two processes never tear the same victim, and
+  an entry cannot be evicted mid-publish.
 
 Capacity is a byte budget (``REPRO_RESULT_STORE_BYTES``, default
 256 MB) enforced LRU: recency order rides on a
@@ -30,6 +42,7 @@ directory is configured.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -37,6 +50,11 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
+
+try:  # POSIX-only; the store degrades to in-process locking without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro._util.lru import LruSet
 
@@ -48,6 +66,9 @@ _DEFAULT_MAX_BYTES = 256 * 1024**2
 #: Entry files.
 _META = "meta.json"
 _RENDERING = "rendering.txt"
+
+#: Cross-process eviction/publish lock file under the store root.
+_LOCK = ".lock"
 
 
 @dataclass(frozen=True)
@@ -87,6 +108,8 @@ class ResultStore:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
         self._lock = threading.RLock()
+        self._flock_fd: int | None = None
+        self._flock_depth = 0
         # LruSet tracks recency order only; the byte budget drives
         # eviction, so the set's own capacity is effectively unbounded.
         self._lru = LruSet(capacity=1 << 40)
@@ -102,6 +125,35 @@ class ResultStore:
         return self.root is not None
 
     # -- bookkeeping ---------------------------------------------------
+
+    @contextlib.contextmanager
+    def _exclusive(self):
+        """Cross-process lock held around publish and eviction.
+
+        Reentrant within the process (callers already hold
+        ``self._lock``, so the depth counter is race-free).  Memory-only
+        stores and platforms without ``fcntl`` fall back to the
+        in-process lock alone.
+        """
+        if not self.root or fcntl is None:
+            yield
+            return
+        if self._flock_depth == 0:
+            if self._flock_fd is None:
+                os.makedirs(self.root, exist_ok=True)
+                self._flock_fd = os.open(
+                    os.path.join(self.root, _LOCK),
+                    os.O_CREAT | os.O_RDWR,
+                    0o644,
+                )
+            fcntl.flock(self._flock_fd, fcntl.LOCK_EX)
+        self._flock_depth += 1
+        try:
+            yield
+        finally:
+            self._flock_depth -= 1
+            if self._flock_depth == 0:
+                fcntl.flock(self._flock_fd, fcntl.LOCK_UN)
 
     def _entry_dir(self, key: str) -> str:
         assert self.root is not None
@@ -122,6 +174,9 @@ class ResultStore:
             return
         aged = []
         for child in os.listdir(self.root):
+            if child.startswith("."):
+                # Torn staging dirs and the lock file are not entries.
+                continue
             entry = os.path.join(self.root, child)
             meta = os.path.join(entry, _META)
             if not os.path.isfile(meta):
@@ -144,25 +199,46 @@ class ResultStore:
             except OSError:
                 pass
 
+    def _adopt(self, key: str) -> bool:
+        """Account an entry another process published under this root.
+
+        Caller holds ``self._lock``.  Returns whether ``key`` is now
+        tracked.  Keys are content hashes; anything that could escape
+        the root or collide with internal files is rejected outright.
+        """
+        if key in self._lru:
+            return True
+        if not self.root or not key or key.startswith(".") or os.sep in key:
+            return False
+        if not os.path.isfile(os.path.join(self._entry_dir(key), _META)):
+            return False
+        size = self._entry_bytes(self._entry_dir(key))
+        self._lru.touch(key)
+        self._bytes[key] = size
+        self.current_bytes += size
+        return True
+
     def _evict(self) -> None:
-        while self.current_bytes > self.max_bytes and len(self._lru) > 1:
-            victim = self._lru.peek_lru()
-            if victim is None:
-                break
-            self._drop(victim)
+        with self._exclusive():
+            while self.current_bytes > self.max_bytes and len(self._lru) > 1:
+                victim = self._lru.peek_lru()
+                if victim is None:
+                    break
+                self._drop(victim)
 
     def _drop(self, key: str) -> None:
         self._lru.discard(key)
         self.current_bytes -= self._bytes.pop(key, 0)
         self._memory.pop(key, None)
         if self.root:
-            shutil.rmtree(self._entry_dir(key), ignore_errors=True)
+            with self._exclusive():
+                shutil.rmtree(self._entry_dir(key), ignore_errors=True)
 
     # -- the content-addressed interface -------------------------------
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._lru
+            return key in self._lru or self._adopt(key)
 
     def __len__(self) -> int:
         with self._lock:
@@ -180,7 +256,7 @@ class ResultStore:
 
     def _load(self, key: str) -> tuple[dict, str | None] | None:
         with self._lock:
-            if key not in self._lru:
+            if key not in self._lru and not self._adopt(key):
                 return None
             if not self.root:
                 self._touch(key)
@@ -201,10 +277,18 @@ class ResultStore:
             self._touch(key)
             return payload, rendering
 
+    @staticmethod
+    def _write_durable(path: str, data: bytes) -> None:
+        """Write one staged file and fsync it before publish."""
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def put(self, key: str, payload: dict, rendering: str | None = None) -> None:
         """Store one result (idempotent: an existing key is refreshed)."""
         with self._lock:
-            if key in self._lru:
+            if key in self._lru or self._adopt(key):
                 self._touch(key)
                 return
             if not self.root:
@@ -214,18 +298,29 @@ class ResultStore:
                 os.makedirs(self.root, exist_ok=True)
                 staging = tempfile.mkdtemp(prefix=".staging-", dir=self.root)
                 try:
-                    with open(os.path.join(staging, _META), "w") as handle:
-                        json.dump(payload, handle, sort_keys=True)
+                    self._write_durable(
+                        os.path.join(staging, _META),
+                        json.dumps(payload, sort_keys=True).encode("utf-8"),
+                    )
                     if rendering is not None:
-                        path = os.path.join(staging, _RENDERING)
-                        with open(path, "wb") as handle:
-                            handle.write(rendering.encode("utf-8"))
+                        self._write_durable(
+                            os.path.join(staging, _RENDERING),
+                            rendering.encode("utf-8"),
+                        )
                     size = self._entry_bytes(staging)
-                    try:
-                        os.rename(staging, self._entry_dir(key))
-                    except OSError:
-                        # A concurrent writer won; identical content.
-                        shutil.rmtree(staging, ignore_errors=True)
+                    with self._exclusive():
+                        try:
+                            os.rename(staging, self._entry_dir(key))
+                        except OSError:
+                            # A concurrent writer won the publish race;
+                            # the content under one key is identical, so
+                            # adopt the winner's entry.  (If the rename
+                            # failed for any other reason nothing was
+                            # published — account nothing.)
+                            shutil.rmtree(staging, ignore_errors=True)
+                            if self._adopt(key):
+                                self._evict()
+                            return
                 except BaseException:
                     shutil.rmtree(staging, ignore_errors=True)
                     raise

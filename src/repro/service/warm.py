@@ -1,0 +1,113 @@
+"""Pre-populate the result store from a sweep plan (``repro warm``).
+
+Warming computes the evaluate grid — every ``(workload, os) x
+configuration x mechanism`` cell of the plan — through the same
+group-cell compute path the server's scheduler dispatches, and writes
+each payload under the same canonical content key the server looks up.
+A warmed store therefore answers the load generator's steady-state
+traffic (and real clients replaying the grid) entirely from disk:
+~100% store hits, no simulation on the serving path.
+
+Idempotent: cells whose keys are already stored are skipped, so
+re-warming after a partial run only computes the remainder.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.study import MECHANISMS
+from repro.experiments.common import ExperimentSettings
+from repro.runner.pool import ExperimentCell, run_cells
+from repro.service.scheduler import (
+    CONFIGS,
+    EvaluateRequest,
+    _evaluate_group_cell,
+)
+from repro.service.store import ResultStore
+from repro.workloads.registry import list_workloads, suite_workloads
+
+__all__ = ["warm_plan", "warm_store"]
+
+
+def warm_plan(
+    *,
+    suite: str | None = None,
+    configs: tuple[str, ...] = CONFIGS,
+    mechanisms: tuple[str, ...] = MECHANISMS,
+    settings: ExperimentSettings,
+) -> list[EvaluateRequest]:
+    """The sweep plan: one request per grid cell (whole registry by
+    default, one suite with ``suite=``)."""
+    pairs = suite_workloads(suite) if suite else list_workloads()
+    return [
+        EvaluateRequest(
+            workload=name,
+            os_name=os_name,
+            config_name=config,
+            mechanism=mechanism,
+            settings=settings,
+        )
+        for name, os_name in pairs
+        for config in configs
+        for mechanism in mechanisms
+    ]
+
+
+def warm_store(
+    store: ResultStore,
+    plan: list[EvaluateRequest],
+    *,
+    jobs: int = 1,
+) -> dict:
+    """Compute and store every missing cell of ``plan``.
+
+    Returns a tally: total/stored/skipped cells and wall seconds.
+    Grouping mirrors the scheduler: one compute cell per
+    ``(workload, os, engine)`` evaluates all of that workload's
+    requested points against a single loaded trace.
+    """
+    started = time.perf_counter()
+    missing = [
+        request for request in plan if request.key() not in store
+    ]
+    groups: dict[tuple, list[EvaluateRequest]] = {}
+    for request in missing:
+        groups.setdefault(request.group_key, []).append(request)
+    cells = []
+    for group_key, requests in groups.items():
+        workload, os_name, engine = group_key
+        first = requests[0]
+        cells.append(
+            ExperimentCell(
+                key=group_key,
+                fn=_evaluate_group_cell,
+                args=(
+                    workload,
+                    os_name,
+                    engine,
+                    tuple(
+                        (request.config_name, request.mechanism)
+                        for request in requests
+                    ),
+                    first.settings.n_instructions,
+                    first.settings.seed,
+                    first.settings.warmup_fraction,
+                ),
+            )
+        )
+    results, _timings = run_cells(cells, jobs)
+    stored = 0
+    for requests, payloads in zip(groups.values(), results):
+        for request, payload in zip(requests, payloads):
+            store.put(request.key(), payload)
+            stored += 1
+    return {
+        "cells": len(plan),
+        "stored": stored,
+        "skipped": len(plan) - len(missing),
+        "groups": len(cells),
+        "seconds": round(time.perf_counter() - started, 3),
+        "store_entries": len(store),
+        "store_bytes": store.current_bytes,
+    }
