@@ -7,9 +7,11 @@ End-to-end shape of the serving story:
    the steady-state store-hit path, not simulation.
 2. **Serve** — launch ``python -m repro serve`` as a real subprocess
    over the same cache directory and wait for ``/healthz``.
-3. **Drive** — run a seeded closed-loop Zipf stream over that grid
-   (:mod:`repro.loadgen`) and record throughput + p50/p95/p99/p999 to
-   the ``BENCH_serve.json`` trajectory.
+3. **Drive** — run a single-client *reference* pass, then the seeded
+   closed-loop Zipf stream over that grid (:mod:`repro.loadgen`), and
+   record throughput + p50/p95/p99/p999 plus the concurrency speedup
+   (concurrent ÷ single-client req/s) to the ``BENCH_serve.json``
+   trajectory.
 4. **Stop** — SIGTERM the server and require a clean graceful-drain
    exit; a hung or crashed shutdown fails the benchmark.
 
@@ -17,12 +19,14 @@ Run from the repository root:
 
     PYTHONPATH=src python benchmarks/bench_serve.py
         [--suite ibs-mach3] [--instructions 20000] [--clients 4]
-        [--requests 200] [--out BENCH_serve.json]
-        [--check-against FILE] [--min-throughput-ratio 0.8]
+        [--requests 200] [--out BENCH_serve.json] [--min-speedup 0.8]
 
-``--check-against`` gates the fresh throughput against the last record
-of the same benchmark in a committed trajectory — relative (default
-0.8x), since absolute req/s is machine-dependent.
+``--min-speedup`` gates the fresh ``concurrency_speedup`` against a
+fixed floor (default 0.8x: concurrency must never collapse throughput
+below 80% of the serial reference).  Both sides of the ratio are
+measured within this run on this machine, so the gate holds on any
+runner hardware — unlike absolute req/s, which is machine-dependent
+and is recorded for trend-reading only, never gated across machines.
 """
 
 from __future__ import annotations
@@ -79,6 +83,9 @@ def main() -> int:
     parser.add_argument("--cache-dir", default=".repro-cache")
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--reference-requests", type=int, default=None,
+                        help="requests in the single-client reference "
+                        "pass (default: half of --requests)")
     parser.add_argument("--warmup-requests", type=int, default=0)
     parser.add_argument("--skew", choices=["zipf", "uniform"],
                         default="zipf")
@@ -86,8 +93,10 @@ def main() -> int:
     parser.add_argument("--stream-seed", type=int, default=0)
     parser.add_argument("--benchmark", default="serve_closed_grid")
     parser.add_argument("--out", default="BENCH_serve.json")
-    parser.add_argument("--check-against", metavar="FILE")
-    parser.add_argument("--min-throughput-ratio", type=float, default=0.8)
+    parser.add_argument("--min-speedup", type=float, default=0.8,
+                        help="fail when concurrent throughput falls "
+                        "below this fraction of the same-run "
+                        "single-client reference")
     args = parser.parse_args()
 
     cache_dir = pathlib.Path(args.cache_dir)
@@ -120,10 +129,10 @@ def main() -> int:
         ],
         env=env,
     )
+    drain_hung = False
     try:
         _wait_healthy(port)
 
-        # 3. The seeded closed-loop stream over the warmed grid.
         workload = Workload.grid(
             skew=args.skew,
             theta=args.theta,
@@ -132,6 +141,24 @@ def main() -> int:
             trace_seed=args.seed,
             suite_pairs=suite_workloads(args.suite),
         )
+
+        # 3a. Single-client reference pass: the same-machine yardstick
+        # the concurrency-speedup gate divides by.
+        reference_requests = args.reference_requests
+        if reference_requests is None:
+            reference_requests = max(1, args.requests // 2)
+        reference_config = LoadConfig(
+            host="127.0.0.1",
+            port=port,
+            mode="closed",
+            clients=1,
+            max_requests=reference_requests,
+            duration_seconds=3600.0,
+        )
+        reference = run_load(workload, reference_config)
+
+        # 3b. The measured seeded closed-loop stream over the warmed
+        # grid (a fresh replay: same seed, same sequence).
         config = LoadConfig(
             host="127.0.0.1",
             port=port,
@@ -142,7 +169,10 @@ def main() -> int:
         )
         result = run_load(workload, config)
     finally:
-        # 4. Graceful stop: SIGTERM must drain and exit cleanly.
+        # 4. Graceful stop: SIGTERM must drain and exit cleanly.  A
+        # hang sets a flag rather than returning here — a return in a
+        # finally block would swallow any in-flight exception from the
+        # measurement above, masking the real failure.
         server.send_signal(signal.SIGTERM)
         try:
             returncode = server.wait(timeout=30)
@@ -151,19 +181,25 @@ def main() -> int:
             server.wait()
             print("server did not drain within 30s of SIGTERM",
                   file=sys.stderr)
-            return 1
+            drain_hung = True
+    if drain_hung:
+        return 1
     if returncode != 0:
         print(f"server exited {returncode} on SIGTERM (expected 0)",
               file=sys.stderr)
         return 1
 
     summary = result.summary()
-    if summary["completed"] != summary["requests"]:
-        print(
-            f"warmed run had non-ok responses: {summary['outcomes']}",
-            file=sys.stderr,
-        )
-        return 1
+    reference_summary = reference.summary()
+    for label, passed in (("reference", reference_summary),
+                          ("warmed", summary)):
+        if passed["completed"] != passed["requests"]:
+            print(
+                f"{label} run had non-ok responses: {passed['outcomes']}",
+                file=sys.stderr,
+            )
+            return 1
+    reference_rps = reference_summary["throughput_rps"]
     record = lg_report.build_record(
         args.benchmark,
         summary,
@@ -174,6 +210,14 @@ def main() -> int:
             "suite": args.suite,
             "n_instructions": args.instructions,
             "warmed_cells": len(plan),
+            "reference_requests": reference_requests,
+            "reference_throughput_rps": reference_rps,
+            # The gated quantity: concurrent vs single-client req/s,
+            # both measured this run on this machine.
+            "concurrency_speedup": (
+                summary["throughput_rps"] / reference_rps
+                if reference_rps > 0 else 0.0
+            ),
         },
     )
     print(lg_report.render_record(record))
@@ -182,14 +226,10 @@ def main() -> int:
     length = lg_report.append_record(record, out)
     print(f"appended to {out} ({length} record(s))")
 
-    if args.check_against:
-        message = lg_report.check_throughput_regression(
-            record, pathlib.Path(args.check_against),
-            args.min_throughput_ratio,
-        )
-        if message is not None:
-            print(message, file=sys.stderr)
-            return 1
+    message = lg_report.check_concurrency_sanity(record, args.min_speedup)
+    if message is not None:
+        print(message, file=sys.stderr)
+        return 1
     return 0
 
 

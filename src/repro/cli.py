@@ -692,7 +692,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg_run.add_argument(
         "--check-against", metavar="FILE",
         help="gate throughput against the last committed record of the "
-        "same benchmark in FILE",
+        "same benchmark in FILE (absolute req/s: only meaningful when "
+        "FILE was recorded on this machine)",
     )
     p_lg_run.add_argument(
         "--min-throughput-ratio", type=float, default=0.8, metavar="R",

@@ -1,12 +1,18 @@
 """``BENCH_serve.json`` trajectory records, rendering, and the CI gate.
 
 Same trajectory discipline as ``BENCH_fetch.json`` /
-``BENCH_workloads.json``: the file is a JSON list of records, each run
-appends, and CI gates a fresh record against the last *committed*
-record of the same benchmark.  For serving the gated quantity is
-closed-loop throughput on a warmed store — machine-dependent in
-absolute terms, so the gate is relative (default 0.8x), exactly like
-the fetch/workloads speedup gates.
+``BENCH_workloads.json``: the file is a JSON list of records and each
+run appends.  Absolute req/s is machine-dependent, so the CI gate
+never compares it across machines; instead it checks
+``concurrency_speedup`` — concurrent ÷ single-client throughput, both
+measured *within one run* on one machine — against a fixed floor
+(:func:`check_concurrency_sanity`).  The single-client reference pass
+is the baseline, re-measured on the gating machine every run, which
+keeps the gate hardware-independent and immune to committed-record
+noise.  The absolute-throughput gate
+(:func:`check_throughput_regression`) remains for trajectories whose
+records all come from the same machine, e.g. ``repro loadgen run
+--check-against`` on a developer box.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import time
 
 __all__ = [
     "build_record",
+    "check_concurrency_sanity",
     "check_throughput_regression",
     "load_trajectory",
     "append_record",
@@ -72,6 +79,9 @@ def check_throughput_regression(
 
     Gates ``throughput_rps`` against the last committed record of the
     same benchmark name; a fresh benchmark (no history) passes.
+    Absolute req/s is machine-dependent — only gate against a
+    trajectory recorded on the same machine (the CI gate uses
+    :func:`check_concurrency_sanity` instead).
     """
     name = record["benchmark"]
     history = [
@@ -92,6 +102,33 @@ def check_throughput_regression(
     return None
 
 
+def check_concurrency_sanity(record: dict, min_speedup: float) -> str | None:
+    """``None`` if acceptable, else a message describing the failure.
+
+    Gates ``concurrency_speedup`` — concurrent ÷ single-client
+    throughput, both measured within one run on one machine — against
+    a fixed floor (default 0.8: concurrency must never collapse
+    throughput below 80% of the same-run serial reference).  Both
+    sides of the ratio come from the gating machine, so the check
+    holds on any runner hardware, and no committed history is
+    involved, so it cannot flake on a lucky past record.
+    """
+    if "concurrency_speedup" not in record:
+        return (
+            f"{record['benchmark']}: record has no concurrency_speedup "
+            f"(was a reference pass run?)"
+        )
+    speedup = record["concurrency_speedup"]
+    if speedup < min_speedup:
+        return (
+            f"{record['benchmark']}: concurrency sanity failed: "
+            f"{speedup:.2f}x vs the same-run single-client reference "
+            f"({record.get('reference_throughput_rps', 0):.1f} req/s; "
+            f"floor {min_speedup:.2f}x)"
+        )
+    return None
+
+
 def render_record(record: dict) -> str:
     """One record as a human-readable block."""
     latency = record.get("latency_seconds", {})
@@ -102,6 +139,14 @@ def render_record(record: dict) -> str:
         f"{record.get('measure_seconds', 0):.2f}s",
         f"  throughput: {record.get('throughput_rps', 0):.1f} req/s "
         f"(offered {record.get('offered_rps', 0):.1f} req/s)",
+    ]
+    if "concurrency_speedup" in record:
+        lines.append(
+            f"  speedup:    {record['concurrency_speedup']:.2f}x over "
+            f"single-client reference "
+            f"({record.get('reference_throughput_rps', 0):.1f} req/s)"
+        )
+    lines += [
         "  latency:    "
         + "  ".join(
             f"{label}={latency.get(label, 0) * 1000:.2f}ms"

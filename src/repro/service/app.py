@@ -92,9 +92,30 @@ class ServiceApp:
             max_inflight=max_inflight, max_queue=max_queue, obs_dir=obs_dir,
         )
         self.started_at = time.time()
+        #: Open client transports (writer -> mid-request flag), so
+        #: shutdown can unblock idle keep-alive handlers without
+        #: cutting off an in-flight response
+        #: (see :func:`_graceful_shutdown`).
+        self._connections: dict = {}
+        self._closing = False
 
     def close(self) -> None:
         self.scheduler.close()
+
+    def abort_connections(self) -> None:
+        """Unblock every connection handler so they all exit.
+
+        Handlers parked in ``read_request`` on an idle keep-alive
+        connection only wake on EOF, so their transports are closed
+        outright.  A handler mid-request keeps its transport — its
+        response (e.g. the ``cancelled`` verdict of a drained job)
+        must still reach the client — and exits after writing it, via
+        the ``_closing`` flag, instead of looping back to read.
+        """
+        self._closing = True
+        for writer, busy in list(self._connections.items()):
+            if not busy:
+                writer.close()
 
     async def shutdown(self, timeout: float | None = 30.0) -> dict:
         """Graceful stop: drain the scheduler, then release resources.
@@ -110,6 +131,7 @@ class ServiceApp:
 
     async def handle_connection(self, reader, writer) -> None:
         """Serve one client connection (keep-alive loop)."""
+        self._connections[writer] = False
         try:
             while True:
                 try:
@@ -120,14 +142,17 @@ class ServiceApp:
                     break
                 if request is None:
                     break
+                self._connections[writer] = True
                 response = await self.dispatch(request)
                 writer.write(response.encode())
                 await writer.drain()
-                if not request.keep_alive:
+                self._connections[writer] = False
+                if self._closing or not request.keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.pop(writer, None)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -203,12 +228,18 @@ class ServiceApp:
 
     def _healthz(self) -> Response:
         """Liveness plus admission state, so a load generator (or CI)
-        can detect overload without inferring it from 429 rates."""
+        can detect overload without inferring it from 429 rates.
+
+        ``status`` is pure liveness and stays ``ok`` even while
+        shedding or draining — external health checks matching
+        ``"status": "ok"`` must not flap under transient overload.
+        The admission state lives in the ``admission`` object.
+        """
         scheduler = self.scheduler
         state = scheduler.admission_state
         return Response.from_json(
             {
-                "status": "ok" if state == "accepting" else state,
+                "status": "ok",
                 "version": package_version(),
                 "generator_version": GENERATOR_VERSION,
                 "uptime_seconds": time.time() - self.started_at,
@@ -372,6 +403,29 @@ async def start_service(
     return await asyncio.start_server(app.handle_connection, host, port)
 
 
+async def _graceful_shutdown(
+    server, app: ServiceApp, drain_timeout: float | None = 30.0
+) -> dict:
+    """Stop accepting, drain the scheduler, then settle connections.
+
+    Ordering matters on Python >= 3.12.1, where ``Server.wait_closed``
+    waits for every connection *handler* to finish: handlers blocked in
+    ``await job.wait()`` only unblock when the drain settles their
+    jobs, and idle keep-alive handlers only unblock when their
+    transports close.  So the drain runs *before* ``wait_closed``, the
+    remaining transports are closed, and the final wait is bounded —
+    the shutdown path can never hang past its timeouts.
+    """
+    server.close()  # no new connections; existing handlers keep running
+    tally = await app.shutdown(timeout=drain_timeout)
+    app.abort_connections()
+    try:
+        await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+    except asyncio.TimeoutError:  # pragma: no cover - defensive bound
+        pass
+    return tally
+
+
 async def _serve_forever(
     app: ServiceApp, host: str, port: int, drain_timeout: float = 30.0
 ) -> None:
@@ -397,18 +451,15 @@ async def _serve_forever(
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass  # non-unix event loop: KeyboardInterrupt path below
     try:
-        async with server:
-            serve_task = asyncio.ensure_future(server.serve_forever())
-            await stop.wait()
-            print("repro serve: draining")
-            server.close()
-            await server.wait_closed()
-            serve_task.cancel()
-            tally = await app.shutdown(timeout=drain_timeout)
-            print(
-                f"repro serve: drained ({tally['finished']} finished, "
-                f"{tally['cancelled']} cancelled)"
-            )
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("repro serve: draining")
+        serve_task.cancel()
+        tally = await _graceful_shutdown(server, app, drain_timeout)
+        print(
+            f"repro serve: drained ({tally['finished']} finished, "
+            f"{tally['cancelled']} cancelled)"
+        )
     finally:
         for signum in installed:
             loop.remove_signal_handler(signum)

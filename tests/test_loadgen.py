@@ -14,6 +14,7 @@ from repro.core.study import MECHANISMS
 from repro.loadgen.report import (
     append_record,
     build_record,
+    check_concurrency_sanity,
     check_throughput_regression,
     load_trajectory,
     render_record,
@@ -184,6 +185,29 @@ class TestReport:
             self._record(90.0), path, 0.8) is None
         message = check_throughput_regression(self._record(50.0), path, 0.8)
         assert message is not None and "regressed" in message
+
+    def _speedup_record(self, speedup, throughput=100.0):
+        record = self._record(throughput)
+        record["reference_throughput_rps"] = throughput / speedup
+        record["concurrency_speedup"] = speedup
+        return record
+
+    def test_concurrency_sanity_gate(self):
+        """The CI gate checks the within-run concurrency speedup
+        against a fixed floor — machine-independent, never absolute
+        req/s across machines, never a committed record's ratio."""
+        assert check_concurrency_sanity(self._speedup_record(1.1), 0.8) is None
+        assert check_concurrency_sanity(self._speedup_record(0.8), 0.8) is None
+        # A slow *absolute* run with healthy concurrency passes: the
+        # runner is just slower hardware.
+        assert check_concurrency_sanity(
+            self._speedup_record(1.1, throughput=10.0), 0.8) is None
+        message = check_concurrency_sanity(self._speedup_record(0.5), 0.8)
+        assert message is not None and "concurrency sanity failed" in message
+
+    def test_concurrency_sanity_requires_speedup_field(self):
+        message = check_concurrency_sanity(self._record(100.0), 0.8)
+        assert message is not None and "concurrency_speedup" in message
 
     def test_gate_matches_on_benchmark_name(self, tmp_path):
         path = tmp_path / "BENCH_serve.json"

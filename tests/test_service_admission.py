@@ -18,6 +18,7 @@ from repro.experiments.common import ExperimentSettings
 from repro.loadgen.driver import LoadConfig, run_load_async
 from repro.loadgen.stats import OK, SHED
 from repro.loadgen.workload import Workload
+from repro.service.app import _graceful_shutdown
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import AdmissionError, JobScheduler
 from repro.service.store import ResultStore
@@ -148,7 +149,10 @@ class TestHealthzOverload:
                     served.port, "GET", "/healthz"
                 )
                 assert status == 200
-                assert health["status"] == "shedding"
+                # status is pure liveness — it must NOT flap to
+                # "shedding" (external checks match "status": "ok");
+                # the admission object carries the overload state.
+                assert health["status"] == "ok"
                 assert health["admission"]["state"] == "shedding"
                 assert health["admission"]["inflight"] == 1
                 assert health["admission"]["queued"] == 0
@@ -333,6 +337,63 @@ class TestGracefulDrain:
             time.sleep(0.02)
         assert all(not t.is_alive() for t in scheduler._executor._threads)
         assert running.status == "cancelled"
+
+
+class TestGracefulShutdown:
+    def test_shutdown_cannot_hang_on_open_connections(self, tmp_path):
+        """The SIGTERM path with live clients must terminate.
+
+        On Python >= 3.12.1 ``Server.wait_closed()`` waits for every
+        connection handler — a client blocked in a ``wait`` request or
+        an idle keep-alive connection would deadlock a shutdown that
+        called it before the drain.  The fixed ordering (drain, then
+        close idle transports, then a bounded ``wait_closed``) must
+        finish promptly, deliver the blocked waiter its ``cancelled``
+        verdict, and EOF the idle client.
+        """
+
+        async def body():
+            async with _Server(
+                tmp_path / "results", max_inflight=1, max_queue=1
+            ) as served:
+                release = threading.Event()
+                _block_executor(served.app.scheduler, release)
+                try:
+                    # An idle keep-alive client holding a connection.
+                    idle_reader, idle_writer = await asyncio.open_connection(
+                        "127.0.0.1", served.port
+                    )
+                    # A client blocked in `await job.wait()` on a job
+                    # whose executor body is stalled.
+                    waiter = asyncio.ensure_future(_json_request(
+                        served.port, "POST", "/v1/experiments",
+                        {"experiment": "table2", "instructions": 20_000,
+                         "wait": True},
+                    ))
+                    for _ in range(500):
+                        if served.app.scheduler.inflight_count:
+                            break
+                        await asyncio.sleep(0.01)
+                    assert served.app.scheduler.inflight_count == 1
+                    tally = await asyncio.wait_for(
+                        _graceful_shutdown(
+                            served.server, served.app, drain_timeout=0.2
+                        ),
+                        timeout=10.0,
+                    )
+                    assert tally == {"finished": 0, "cancelled": 1}
+                    # The blocked waiter was answered, not cut off.
+                    status, record = await asyncio.wait_for(waiter, 10.0)
+                    assert status == 200
+                    assert record["status"] == "cancelled"
+                    # The idle connection got a clean EOF.
+                    eof = await asyncio.wait_for(idle_reader.read(), 10.0)
+                    assert eof == b""
+                    idle_writer.close()
+                finally:
+                    release.set()
+
+        asyncio.run(body())
 
     def test_app_shutdown_reports_the_tally(self, tmp_path):
         async def body():
