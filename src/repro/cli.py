@@ -14,8 +14,11 @@ Subcommands:
   store that backs the server (``--json`` likewise).
 * ``serve`` — run the long-running HTTP/JSON simulation server
   (:mod:`repro.service`); ``--max-queue``/``--max-inflight`` bound the
-  scheduler (overload answers 429 + ``Retry-After``), SIGINT/SIGTERM
-  drain gracefully.
+  scheduler (overload answers 429 + ``Retry-After``), ``--workers N``
+  pre-forks N processes over one listening socket and one shared
+  result store (admission is per worker: the fleet bound is
+  N × (max-queue + max-inflight)), SIGINT/SIGTERM drain gracefully
+  across the whole fleet.
 * ``warm`` — pre-populate the result store with the evaluate grid so
   steady-state serving traffic is ~100% store hits.
 * ``loadgen run|report`` — drive a deterministic Zipf/uniform request
@@ -298,6 +301,12 @@ def _cmd_results(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service.app import run_service
 
+    if args.workers < 1:
+        print(
+            f"repro serve: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
     store = _result_store()
     if store is None:
         from repro.service.store import ResultStore
@@ -307,7 +316,36 @@ def _cmd_serve(args) -> int:
             " configured; results will not survive restarts",
             file=sys.stderr,
         )
+        if args.workers > 1:
+            print(
+                "repro serve: without a persistent store each worker "
+                "caches results privately — cross-worker single-flight "
+                "needs --cache-dir",
+                file=sys.stderr,
+            )
         store = ResultStore(None)
+    max_queue = args.max_queue if args.max_queue >= 0 else None
+    if args.workers > 1:
+        # Pre-fork fleet: the supervisor forks args.workers processes
+        # over one listening socket and one store root.  Admission is
+        # per worker — the fleet's effective bound is
+        # workers × (max_queue + max_inflight).
+        from repro.service.supervisor import run_supervisor
+
+        return run_supervisor(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            store_root=store.root,
+            jobs=args.jobs,
+            batch_window=args.batch_window,
+            max_inflight=args.max_inflight,
+            max_queue=max_queue,
+            drain_timeout=args.drain_timeout,
+            obs_dir=_obs_dir(args),
+            socket_strategy=args.socket_strategy,
+            max_restarts=args.max_worker_restarts,
+        )
     return run_service(
         host=args.host,
         port=args.port,
@@ -315,7 +353,7 @@ def _cmd_serve(args) -> int:
         jobs=args.jobs,
         batch_window=args.batch_window,
         max_inflight=args.max_inflight,
-        max_queue=args.max_queue if args.max_queue >= 0 else None,
+        max_queue=max_queue,
         drain_timeout=args.drain_timeout,
         obs_dir=_obs_dir(args),
     )
@@ -600,6 +638,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="how long graceful shutdown waits for in-flight jobs "
         "before marking the stragglers cancelled",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pre-fork N worker processes accepting on one shared "
+        "listening socket over one result store (POSIX only); "
+        "admission bounds are per worker, so the fleet's effective "
+        "bound is N x (max-queue + max-inflight)",
+    )
+    p_serve.add_argument(
+        "--socket-strategy", choices=["auto", "reuseport", "inherit"],
+        default="auto",
+        help="how workers share the listening socket: SO_REUSEPORT "
+        "(kernel load-balancing, where available) or an inherited "
+        "pre-fork FD; auto prefers reuseport",
+    )
+    p_serve.add_argument(
+        "--max-worker-restarts", type=int, default=8, metavar="N",
+        help="consecutive young-worker crashes tolerated before the "
+        "supervisor gives up and exits non-zero",
     )
 
     p_warm = sub.add_parser(

@@ -179,9 +179,10 @@ async def _issue(
             except ValueError:
                 retry_after = None
         outcome = _classify(status)
+        worker = headers.get("x-repro-worker")
     except (ConnectionError, OSError, asyncio.TimeoutError,
             asyncio.IncompleteReadError, ValueError, IndexError):
-        status, retry_after, outcome = 0, None, ERROR
+        status, retry_after, outcome, worker = 0, None, ERROR, None
     recorder.record(
         Sample(
             index=request.index,
@@ -191,6 +192,7 @@ async def _issue(
             outcome=outcome,
             phase=phase,
             retry_after=retry_after,
+            worker=worker,
         )
     )
 

@@ -25,6 +25,7 @@ __all__ = [
     "build_record",
     "check_concurrency_sanity",
     "check_throughput_regression",
+    "check_worker_scaling",
     "load_trajectory",
     "append_record",
     "render_trajectory",
@@ -129,6 +130,36 @@ def check_concurrency_sanity(record: dict, min_speedup: float) -> str | None:
     return None
 
 
+def check_worker_scaling(record: dict, min_speedup: float) -> str | None:
+    """``None`` if acceptable, else a message describing the failure.
+
+    Gates ``worker_speedup`` — multi-worker ÷ single-worker closed-loop
+    throughput, both measured within one run on one machine — against a
+    fixed floor.  Same discipline as :func:`check_concurrency_sanity`:
+    both sides of the ratio come from the gating machine in the same
+    invocation, so the check is hardware-independent (absolute req/s is
+    never compared across machines) and history-free.  The floor must
+    be chosen for the gating machine's core count: ``--workers 2`` on a
+    >=2-core runner should clear 1.2x comfortably; a 1-core box will
+    sit near 1.0x and should not enforce the gate at all.
+    """
+    if "worker_speedup" not in record:
+        return (
+            f"{record['benchmark']}: record has no worker_speedup "
+            f"(was the run single-worker only?)"
+        )
+    speedup = record["worker_speedup"]
+    if speedup < min_speedup:
+        return (
+            f"{record['benchmark']}: worker scaling failed: "
+            f"{speedup:.2f}x with {record.get('workers', '?')} workers vs "
+            f"the same-run single-worker reference "
+            f"({record.get('single_worker_throughput_rps', 0):.1f} req/s; "
+            f"floor {min_speedup:.2f}x)"
+        )
+    return None
+
+
 def render_record(record: dict) -> str:
     """One record as a human-readable block."""
     latency = record.get("latency_seconds", {})
@@ -146,6 +177,19 @@ def render_record(record: dict) -> str:
             f"single-client reference "
             f"({record.get('reference_throughput_rps', 0):.1f} req/s)"
         )
+    if "worker_speedup" in record:
+        lines.append(
+            f"  workers:    {record['worker_speedup']:.2f}x with "
+            f"{record.get('workers', '?')} workers over single-worker "
+            f"reference "
+            f"({record.get('single_worker_throughput_rps', 0):.1f} req/s)"
+        )
+    per_worker = record.get("workers_served")
+    if per_worker:
+        rendered = ", ".join(
+            f"worker {k}: {v}" for k, v in sorted(per_worker.items())
+        )
+        lines.append(f"  served by:  {rendered}")
     lines += [
         "  latency:    "
         + "  ".join(

@@ -16,6 +16,7 @@ from repro.loadgen.report import (
     build_record,
     check_concurrency_sanity,
     check_throughput_regression,
+    check_worker_scaling,
     load_trajectory,
     render_record,
     render_trajectory,
@@ -150,6 +151,18 @@ class TestStats:
         assert summary["statuses"] == {"0": 1, "200": 8, "429": 1}
         # The warmup-phase 9s outlier must not pollute the tails.
         assert summary["latency_seconds"]["p999"] < 1.0
+        # No worker attribution recorded → no workers_served key.
+        assert "workers_served" not in summary
+
+    def test_summarize_counts_serving_workers(self):
+        recorder = LatencyRecorder()
+        for worker in ("0", "1", "1"):
+            sample = _sample(0.01)
+            recorder.record(
+                Sample(**{**sample.__dict__, "worker": worker})
+            )
+        summary = summarize(recorder, measure_seconds=1.0)
+        assert summary["workers_served"] == {"0": 1, "1": 2}
 
 
 class TestReport:
@@ -208,6 +221,30 @@ class TestReport:
     def test_concurrency_sanity_requires_speedup_field(self):
         message = check_concurrency_sanity(self._record(100.0), 0.8)
         assert message is not None and "concurrency_speedup" in message
+
+    def _worker_record(self, speedup, throughput=100.0):
+        record = self._record(throughput)
+        record["workers"] = 2
+        record["single_worker_throughput_rps"] = throughput / speedup
+        record["worker_speedup"] = speedup
+        return record
+
+    def test_worker_scaling_gate(self):
+        """Same discipline as the concurrency gate: the within-run
+        multi-worker / single-worker ratio against a fixed floor —
+        never absolute req/s across machines."""
+        assert check_worker_scaling(self._worker_record(1.8), 1.2) is None
+        assert check_worker_scaling(self._worker_record(1.2), 1.2) is None
+        # Slow hardware with healthy scaling passes.
+        assert check_worker_scaling(
+            self._worker_record(1.8, throughput=10.0), 1.2) is None
+        message = check_worker_scaling(self._worker_record(1.0), 1.2)
+        assert message is not None and "worker scaling failed" in message
+        assert "2 workers" in message
+
+    def test_worker_scaling_requires_speedup_field(self):
+        message = check_worker_scaling(self._record(100.0), 1.2)
+        assert message is not None and "worker_speedup" in message
 
     def test_gate_matches_on_benchmark_name(self, tmp_path):
         path = tmp_path / "BENCH_serve.json"

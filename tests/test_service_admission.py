@@ -377,7 +377,7 @@ class TestGracefulShutdown:
                     assert served.app.scheduler.inflight_count == 1
                     tally = await asyncio.wait_for(
                         _graceful_shutdown(
-                            served.server, served.app, drain_timeout=0.2
+                            [served.server], served.app, drain_timeout=0.2
                         ),
                         timeout=10.0,
                     )

@@ -5,9 +5,12 @@ tier filling it, a live server reading it, maybe a second server
 sharing it.  These tests check the cross-process contract: no torn
 entries (every published ``meta.json`` parses), no lost entries (every
 written key is readable from a fresh store and from sibling instances),
-and eviction under a byte budget never corrupts a reader.
+and eviction under a byte budget never corrupts a reader — and, end to
+end, that a two-worker ``repro serve`` fleet receiving the same
+evaluate key over real HTTP publishes exactly one store entry.
 """
 
+import asyncio
 import json
 import multiprocessing
 import os
@@ -155,3 +158,78 @@ class TestCrossInstanceVisibility:
         fresh = ResultStore(str(root))
         assert len(fresh) == 1
         assert "real" in fresh
+
+
+class TestTwoWorkerSingleFlight:
+    """Store-level single-flight across a real two-worker fleet.
+
+    Each worker of a ``repro serve --workers 2`` fleet receives the
+    *same* evaluate key over real HTTP (addressed directly via the
+    control ports ``/healthz`` reports, so the kernel's accept
+    balancing can't collapse the race onto one process).  Both compute
+    concurrently; the cross-process flock publish and adopt-on-miss
+    must collapse the results into exactly one store entry, and both
+    responses must be served from it.
+    """
+
+    def test_same_key_on_both_workers_one_store_entry(self, tmp_path):
+        from tests.test_service_supervisor import _ServeProcess
+
+        server = _ServeProcess(tmp_path)
+        try:
+            server.wait_listening()
+            payload = server.wait_healthy_fleet(2)
+            ports = sorted(
+                entry["control_port"]
+                for entry in payload["workers"]
+                if entry.get("alive")
+            )
+            assert len(ports) == 2
+
+            body = json.dumps({
+                "workload": "gcc",
+                "instructions": 20_000,
+                "wait": True,
+            }).encode()
+
+            async def post(port: int) -> dict:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                try:
+                    writer.write(
+                        (
+                            "POST /v1/evaluate HTTP/1.1\r\nHost: t\r\n"
+                            "Connection: close\r\n"
+                            f"Content-Length: {len(body)}\r\n\r\n"
+                        ).encode() + body
+                    )
+                    await writer.drain()
+                    raw = await asyncio.wait_for(reader.read(-1), 120)
+                finally:
+                    writer.close()
+                head, _, raw_body = raw.partition(b"\r\n\r\n")
+                assert head.split()[1] == b"200", head
+                return json.loads(raw_body)
+
+            async def race():
+                return await asyncio.gather(*(post(p) for p in ports))
+
+            first, second = asyncio.run(race())
+            # Both workers answered the same key with identical results.
+            assert first["key"] == second["key"]
+            assert first["status"] == second["status"] == "done"
+            assert first["result"] == second["result"]
+            assert first["result"]["metrics"]["cpi_instr"] > 1.0
+            # Exactly one published entry backs both responses.
+            results_root = tmp_path / "cache" / "results"
+            entries = [
+                child for child in os.listdir(results_root)
+                if not child.startswith(".")
+            ]
+            assert len(entries) == 1
+            store = ResultStore(str(results_root))
+            assert first["key"] in store
+            assert server.terminate_and_wait() == 0
+        finally:
+            server.cleanup()
