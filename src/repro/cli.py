@@ -32,9 +32,10 @@ Global flags: ``--jobs N`` fans experiment cells over a process pool
 (results are bit-identical to serial), ``--cache-dir``/``REPRO_CACHE_DIR``
 selects the persistent trace cache, ``--no-disk-cache`` disables it,
 ``--timing-out FILE`` writes the per-cell/per-phase wall-time report as
-JSON, ``--obs-dir DIR``/``REPRO_OBS_DIR`` traces the run and writes its
-manifest there, and ``--version`` prints package, generator, and git
-versions.
+JSON (including the sweep plan's dedup counters — ``cells_total``,
+``inputs_shared``, ``inputs_primed``), ``--obs-dir DIR``/
+``REPRO_OBS_DIR`` traces the run and writes its manifest there, and
+``--version`` prints package, generator, and git versions.
 """
 
 from __future__ import annotations
@@ -389,6 +390,13 @@ def _cmd_warm(args) -> int:
             f"{tally['seconds']:.1f}s across {tally['groups']} "
             f"trace group(s)"
         )
+        plan_stats = tally.get("plan") or {}
+        if plan_stats.get("inputs_primed"):
+            print(
+                f"plan: primed {plan_stats['inputs_primed']} shared "
+                f"input(s) once ({plan_stats['inputs_shared']} demanded "
+                "by more than one cell)"
+            )
         print(
             f"result store: {tally['store_entries']} entries, "
             f"{tally['store_bytes']:,} bytes"

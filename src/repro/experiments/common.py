@@ -15,13 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util.bitops import ilog2
-from repro.caches.vectorized import line_order_cache
 from repro.core.config import MemorySystemConfig
 from repro.core.metrics import DEFAULT_WARMUP_FRACTION
 from repro.core.study import ENGINES, StudyResult, evaluate_trace
-from repro.fetch import vectorized
-from repro.runner import timing
+from repro.plan import inputs as plan_inputs
 from repro.runner.pool import ExperimentCell, has_cells
 from repro.trace.rle import LineRuns
 from repro.trace.trace import Trace
@@ -255,61 +252,25 @@ def fetch_point(
     )
 
 
-#: Mechanisms whose vectorized kernels consult the plain demand miss
-#: mask, so their L1 shapes can join the batched multi-geometry pass.
-_DEMAND_MASK_MECHANISMS = frozenset({"demand", "stream-buffer"})
+#: Deprecated aliases: these helpers were private to this module until
+#: the sweep-plan IR promoted them to :mod:`repro.plan.inputs`.  The
+#: old underscore names keep working for external callers; new code
+#: should import the public names from ``repro.plan``.
+_DEMAND_MASK_MECHANISMS = plan_inputs.DEMAND_MASK_MECHANISMS
 
 
 def _mask_shape_plan(
     points: list[FetchPoint], engine: str
 ) -> dict[tuple[int, int], set[tuple[int, int]]]:
-    """The stack-distance mask shapes a sweep will consult, per stream.
-
-    Keyed by ``(encode_line_size, mask_line_size)``: the stream is the
-    workload's RLE lines at the first size, coarsened to the second —
-    exactly what :func:`~repro.core.study.evaluate_trace`'s L1 and L2
-    legs look up.  L1 shapes join only for mechanisms whose kernels
-    read the demand mask, and only when the vectorized engine can run
-    (``engine="reference"`` never consults masks).  L2 shapes always
-    join: :func:`~repro.core.metrics.measure_mpi` is mask-based under
-    every engine.
-    """
-    plan: dict[tuple[int, int], set[tuple[int, int]]] = {}
-    for point in points:
-        l1 = point.config.l1
-        if engine != "reference" and (
-            point.mechanism in _DEMAND_MASK_MECHANISMS
-        ):
-            plan.setdefault((l1.line_size, l1.line_size), set()).add(
-                vectorized._mask_shape(l1)
-            )
-        l2 = point.config.l2
-        if l2 is not None:
-            base = min(l2.line_size, l1.line_size)
-            plan.setdefault((base, l2.line_size), set()).add(
-                (l2.n_sets, l2.associativity)
-            )
-    return plan
+    """Deprecated shim for :func:`repro.plan.inputs.mask_shape_plan`."""
+    return plan_inputs.mask_shape_plan(points, engine)
 
 
 def _prime_miss_masks(
     trace: Trace, plan: dict[tuple[int, int], set[tuple[int, int]]]
 ) -> None:
-    """Batch-compute one trace's miss masks ahead of point evaluation.
-
-    Feeds every geometry of the sweep into
-    :meth:`~repro.caches.vectorized.LineOrderCache.miss_masks` so
-    shapes sharing a set count are priced from one shared
-    stack-distance pass; the per-point evaluations then hit the memo.
-    Purely a warm-up: evaluation order and arithmetic are unchanged, so
-    results stay bit-identical with or without it.
-    """
-    for (encode_size, mask_size), shapes in plan.items():
-        runs = trace.ifetch_line_runs(encode_size)
-        cache = line_order_cache(runs.lines)
-        lines = cache.coarsened(ilog2(mask_size) - ilog2(encode_size))
-        with timing.phase(timing.PHASE_SIMULATE):
-            line_order_cache(lines).miss_masks(sorted(shapes))
+    """Deprecated shim for :func:`repro.plan.inputs.prime_miss_masks`."""
+    plan_inputs.prime_miss_masks(trace, plan)
 
 
 def sweep_fetch_cpi(
@@ -337,9 +298,9 @@ def sweep_fetch_cpi(
         if point.key in per_point:
             raise ValueError(f"duplicate sweep point key {point.key!r}")
         per_point[point.key] = ([], [])
-    plan = _mask_shape_plan(points, settings.engine)
+    plan = plan_inputs.mask_shape_plan(points, settings.engine)
     for trace in suite_traces(suite, settings):
-        _prime_miss_masks(trace, plan)
+        plan_inputs.prime_miss_masks(trace, plan)
         for point in points:
             result = evaluate_trace(
                 trace,

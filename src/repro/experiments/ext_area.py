@@ -33,6 +33,7 @@ from repro.experiments.common import (
     ExperimentSettings,
     suite_cpi_instr,
 )
+from repro.plan import inputs as plan_inputs
 
 #: Cycle-time-legal L1 options (the paper: fast clocks cap the L1 at
 #: 4-16 KB direct-mapped).
@@ -159,3 +160,15 @@ def run(
                 )
             points[(suite, budget)] = tuple(evaluated)
     return ExtAreaResult(points=points)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation.
+
+    The legal-configuration grid depends on the budget argument, so
+    only the suites' traces are declared; the per-budget masks stay
+    cell-private.
+    """
+    return plan_inputs.run_cell(
+        "ext_area", run, settings, suites=("spec92", "ibs-mach3")
+    )

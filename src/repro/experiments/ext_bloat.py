@@ -26,6 +26,7 @@ from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.trace.rle import to_line_runs
 from repro.workloads.generator import synthesize_trace
 from repro.workloads.registry import get_workload
+from repro.plan import inputs as plan_inputs
 
 REFERENCE = CacheGeometry(8192, 32, 1)
 
@@ -111,3 +112,8 @@ def run(
             mpi_8kb=mpi, cpi_optimized=study.cpi_instr
         )
     return ExtBloatResult(workload=workload_name, stages=results)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: scaled traces are synthesized per stage."""
+    return plan_inputs.run_cell("ext_bloat", run, settings)

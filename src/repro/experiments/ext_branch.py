@@ -20,6 +20,7 @@ from repro._util.fmt import format_table
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.fetch.branch import BranchTargetBuffer
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 BTB_SIZES = (64, 256, 1024, 4096)
 MISPREDICT_PENALTY = 3.0
@@ -97,3 +98,9 @@ def run(
                 float(np.mean(mispredict_rates)),
             )
     return ExtBranchResult(cells=cells)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: the BTB walks raw addresses, so only
+    the suites' traces are shared."""
+    return plan_inputs.run_cell("ext_branch", run, settings, suites=SUITES)

@@ -25,6 +25,7 @@ from repro.caches.vectorized import miss_mask_set_associative
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.trace.record import COMPONENT_NAMES, Component, RefKind
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 REFERENCE = CacheGeometry(8192, 32, 1)
 
@@ -123,3 +124,11 @@ def run(
             )
         rows[name] = shares
     return ExtComponentsResult(rows=rows)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: per-component attribution reads the
+    raw traces directly."""
+    return plan_inputs.run_cell(
+        "ext_components", run, settings, suites=("ibs-mach3",)
+    )

@@ -31,6 +31,7 @@ from repro.fetch.timing import MemoryTiming
 from repro.fetch.victim import VictimCacheEngine
 from repro.trace.rle import LineRuns, to_line_runs
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 LINE_SIZE = 32
 TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
@@ -115,3 +116,11 @@ def run(
         for remedy, values in results.items():
             cells[(size, remedy)] = _suite_mean_mpi(values)
     return ExtConflictResult(cells=cells)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: the remedies build their own RLE
+    streams, so only the suite's traces are shared."""
+    return plan_inputs.run_cell(
+        "ext_conflict", run, settings, suites=("ibs-mach3",)
+    )

@@ -26,6 +26,7 @@ from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.trace.filters import ifetch_only, interleave
 from repro.trace.rle import to_line_runs
 from repro.workloads.registry import get_trace
+from repro.plan import inputs as plan_inputs
 
 QUANTA = (1_000, 5_000, 20_000)
 SIZES = (8192, 32768)
@@ -90,3 +91,8 @@ def run(
                 runs, geometry, settings.warmup_fraction
             ).mpi_per_100
     return ExtContextResult(cells=cells, solo=solo)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: the two interleaved workloads' traces."""
+    return plan_inputs.run_cell("ext_context", run, settings, workloads=PAIR)

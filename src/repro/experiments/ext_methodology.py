@@ -26,7 +26,12 @@ from repro._util.fmt import format_table
 from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.core.study import evaluate_trace
-from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    fetch_point,
+)
+from repro.plan import inputs as plan_inputs
 from repro.fetch.timing import L1_L2_INTERFACE
 from repro.fetch.twolevel import TwoLevelDemandEngine
 from repro.workloads.registry import get_trace, suite_workloads
@@ -105,4 +110,16 @@ def run(
             "integrated": float(np.mean(integrated)),
             "integrated + shared data": float(np.mean(shared)),
         }
+    )
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: the additive leg is the planner's own
+    demand evaluation, so its stream and masks are shared; the
+    integrated engine replays raw streams privately."""
+    base = MemorySystemConfig.economy().with_l2(L2)
+    return plan_inputs.run_cell(
+        "ext_methodology", run, settings,
+        suites=("ibs-mach3",),
+        points=[fetch_point(("ext_methodology",), base, "demand")],
     )

@@ -24,9 +24,11 @@ from repro.core.multiissue import IssueProjection, project_issue_widths
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
+    fetch_point,
     suite_cpi_instr,
 )
 from repro.fetch.timing import MemoryTiming
+from repro.plan import inputs as plan_inputs
 
 WIDTHS = (1, 2, 4, 8)
 L2 = CacheGeometry(64 * 1024, 64, 8)
@@ -96,3 +98,24 @@ def run(
         cpi_instr[suite] = floor
         projections[suite] = project_issue_widths(floor, WIDTHS)
     return ExtMultiIssueResult(cpi_instr=cpi_instr, projections=projections)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: one cell sharing both suites' traces
+    plus the optimized system's stream and demand mask."""
+    pipelined = MemorySystemConfig(
+        "optimized",
+        l1=CacheGeometry(8192, 32, 1),
+        memory=MemorySystemConfig.high_performance().memory,
+        l2=L2,
+        l1_interface=MemoryTiming(latency=6, bytes_per_cycle=32),
+    )
+    return plan_inputs.run_cell(
+        "ext_multiissue", run, settings,
+        suites=("ibs-mach3", "spec92"),
+        points=[
+            fetch_point(
+                ("ext_multiissue",), pipelined, "stream-buffer", n_lines=6
+            )
+        ],
+    )

@@ -41,6 +41,7 @@ from repro.trace.rle import to_line_runs
 from repro.workloads.generator import TraceSynthesizer
 from repro.workloads.ibs import IBS_WORKLOADS
 from repro.workloads.registry import get_workload
+from repro.plan import inputs as plan_inputs
 
 REFERENCE = CacheGeometry(8192, 32, 1)
 
@@ -159,3 +160,8 @@ def run(
             user_after=_mpi(relocated_user, settings.warmup_fraction),
         )
     return ExtPlacementResult(rows=rows)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: placement re-synthesizes its traces."""
+    return plan_inputs.run_cell("ext_placement", run, settings)

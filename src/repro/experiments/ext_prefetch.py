@@ -32,6 +32,7 @@ from repro.fetch.streambuf import StreamBufferEngine
 from repro.fetch.timing import MemoryTiming
 from repro.trace.rle import to_line_runs
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 LINE_SIZE = 16
 TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
@@ -99,3 +100,11 @@ def run(
             result = engine.run(runs, settings.warmup_fraction)
             cells[(name, scheme)] = result.cpi_instr
     return ExtPrefetchResult(cells=cells)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: history-based engines replay raw
+    streams, so only the suite's traces are shared."""
+    return plan_inputs.run_cell(
+        "ext_prefetch", run, settings, suites=("ibs-mach3",)
+    )

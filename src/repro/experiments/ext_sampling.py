@@ -22,6 +22,7 @@ from repro.core.metrics import measure_mpi
 from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.trace.rle import to_line_runs
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 GEOMETRY = CacheGeometry(8192, 32, 1)
 FRACTIONS = (0.05, 0.1, 0.2, 0.5)
@@ -96,3 +97,10 @@ def run(
                 float(np.mean(speedups)),
             )
     return ExtSamplingResult(cells=cells)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: sampled replicas share the traces."""
+    return plan_inputs.run_cell(
+        "ext_sampling", run, settings, suites=("ibs-mach3",)
+    )

@@ -23,6 +23,7 @@ from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.trace.rle import to_line_runs
 from repro.workloads.generator import synthesize_trace
 from repro.workloads.registry import get_workload
+from repro.plan import inputs as plan_inputs
 
 REFERENCE = CacheGeometry(8192, 32, 1)
 
@@ -118,3 +119,8 @@ def run(
             values.append(_mpi(modified, settings))
         rows[knob] = (values[0], values[1])
     return ExtSensitivityResult(baseline=baseline, rows=rows)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: every variant trace is bespoke."""
+    return plan_inputs.run_cell("ext_sensitivity", run, settings)

@@ -31,6 +31,7 @@ from repro.fetch.prefetch import PrefetchOnMissEngine
 from repro.fetch.timing import MemoryTiming
 from repro.trace.rle import to_line_runs
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 TIMING = MemoryTiming(latency=6, bytes_per_cycle=16)
 SIZE = 8192
@@ -112,4 +113,12 @@ def run(
             "16B + 3 prefetch": float(np.mean(prefetch_values)),
             "64B/16B sub-block": float(np.mean(subblock_values)),
         }
+    )
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: the engines replay raw streams, so
+    only the suite's traces are shared."""
+    return plan_inputs.run_cell(
+        "ext_subblock", run, settings, suites=("ibs-mach3",)
     )

@@ -26,6 +26,7 @@ from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings
 from repro.tlb.mach_tlb import USER_REFILL_CYCLES, simulate_mach_tlb
 from repro.trace.record import Component
 from repro.workloads.registry import get_trace, suite_workloads
+from repro.plan import inputs as plan_inputs
 
 
 @dataclass(frozen=True)
@@ -98,3 +99,11 @@ def run(
                 user_miss_share=user_misses / total,
             )
     return ExtTlbResult(rows=rows)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: TLB simulation walks raw traces of
+    both OS suites."""
+    return plan_inputs.run_cell(
+        "ext_tlb", run, settings, suites=("ibs-mach3", "ibs-ultrix")
+    )

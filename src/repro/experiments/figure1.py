@@ -23,6 +23,8 @@ from repro._util.fmt import format_table
 from repro.caches.base import CacheGeometry
 from repro.caches.classify import ThreeCsRates
 from repro.core.metrics import measure_three_cs
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import MaskFamily, PlanCell
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentCell,
@@ -110,6 +112,37 @@ def _cells(
 def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
     """One cell per (suite, cache size) curve point."""
     return _cells(settings, CACHE_SIZES)
+
+
+def _mask_family(size: int) -> MaskFamily:
+    """The three-Cs masks of one size: direct-mapped + the 8-way reference.
+
+    :func:`~repro.core.metrics.measure_three_cs` is mask-based under
+    every engine, so both shapes always join the plan's batched pass.
+    """
+    geometry = CacheGeometry(size, LINE_SIZE, 1)
+    return MaskFamily(
+        encode_line_size=LINE_SIZE,
+        mask_line_size=LINE_SIZE,
+        shapes=tuple(
+            sorted({(geometry.n_lines // 8, 8), (geometry.n_sets, 1)})
+        ),
+    )
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation: per-point cells with mask families."""
+    return [
+        PlanCell(
+            key=(suite, size),
+            fn=_measure_point,
+            args=(suite, size, settings),
+            traces=plan_inputs.suite_trace_keys(suite, settings),
+            masks=(_mask_family(size),),
+        )
+        for suite in SUITES
+        for size in CACHE_SIZES
+    ]
 
 
 def merge(

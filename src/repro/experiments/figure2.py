@@ -19,6 +19,7 @@ from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, suite
 from repro.trace.record import COMPONENT_NAMES
 from repro.trace.stats import component_mix
 from repro.workloads.os_model import MACH3, ULTRIX, os_component_inventory
+from repro.plan import inputs as plan_inputs
 
 
 @dataclass(frozen=True)
@@ -68,3 +69,11 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Figure2Result:
 
 #: Exposed so tests can assert names render sensibly.
 COMPONENT_LABELS = dict(COMPONENT_NAMES)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: one cell sharing all three suites' traces."""
+    return plan_inputs.run_cell(
+        "figure2", run, settings,
+        suites=("spec92", "ibs-ultrix", "ibs-mach3"),
+    )

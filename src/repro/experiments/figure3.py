@@ -21,8 +21,11 @@ from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentCell,
     ExperimentSettings,
+    fetch_point,
     suite_cpi_instr,
 )
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 L2_SIZES = tuple(1024 * k for k in (16, 32, 64, 128, 256))
 L2_LINE_SIZES = (16, 32, 64, 128, 256)
@@ -129,6 +132,29 @@ def _cells(
 def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
     """One cell per feasible (configuration, L2 size, L2 line) point."""
     return _cells(settings, L2_SIZES, L2_LINE_SIZES, "ibs-mach3")
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation: per-point cells with L1+L2 masks."""
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    cell_list = []
+    for point in _enumerate_points(L2_SIZES, L2_LINE_SIZES):
+        config_name, size, line_size = point
+        config = _base_config(config_name).with_l2(
+            CacheGeometry(size, line_size, 1)
+        )
+        cell_list.append(
+            PlanCell(
+                key=point,
+                fn=_evaluate_point,
+                args=(*point, "ibs-mach3", settings),
+                traces=traces,
+                masks=plan_inputs.mask_families(
+                    [fetch_point(point, config, "demand")], settings.engine
+                ),
+            )
+        )
+    return cell_list
 
 
 def _merge_points(

@@ -17,9 +17,14 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
+    fetch_point,
     suite_cpi_instr,
 )
+from repro.fetch.timing import L1_L2_INTERFACE, MemoryTiming
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 ASSOCIATIVITIES = (1, 2, 4, 8)
 L2_SIZE = 64 * 1024
@@ -57,6 +62,86 @@ class Figure4Result:
         return (before - after) / before
 
 
+def _point_config(
+    config_name: str, ways: int, associative_lookup_penalty: bool
+) -> MemorySystemConfig:
+    """The memory system of one (configuration, associativity) point."""
+    if config_name == "economy":
+        base = MemorySystemConfig.economy()
+    else:
+        base = MemorySystemConfig.high_performance()
+    interface = L1_L2_INTERFACE
+    if associative_lookup_penalty and ways > 1:
+        interface = MemoryTiming(
+            latency=L1_L2_INTERFACE.latency + 1,
+            bytes_per_cycle=L1_L2_INTERFACE.bytes_per_cycle,
+        )
+    return base.with_l2(CacheGeometry(L2_SIZE, L2_LINE, ways), interface)
+
+
+def _evaluate_point(
+    config_name: str,
+    ways: int,
+    suite: str,
+    associative_lookup_penalty: bool,
+    settings: ExperimentSettings,
+) -> float:
+    """One cell: suite-mean total CPIinstr at one associativity."""
+    config = _point_config(config_name, ways, associative_lookup_penalty)
+    l1, l2 = suite_cpi_instr(suite, config, "demand", settings)
+    return l1 + l2
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per (configuration, associativity) curve point."""
+    return [
+        ExperimentCell(
+            key=("figure4", config_name, ways),
+            fn=_evaluate_point,
+            args=(config_name, ways, "ibs-mach3", False, settings),
+        )
+        for config_name in CONFIG_NAMES
+        for ways in ASSOCIATIVITIES
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation: per-point cells with L1+L2 masks."""
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    return [
+        PlanCell(
+            key=("figure4", config_name, ways),
+            fn=_evaluate_point,
+            args=(config_name, ways, "ibs-mach3", False, settings),
+            traces=traces,
+            masks=plan_inputs.mask_families(
+                [
+                    fetch_point(
+                        (config_name, ways),
+                        _point_config(config_name, ways, False),
+                        "demand",
+                    )
+                ],
+                settings.engine,
+            ),
+        )
+        for config_name in CONFIG_NAMES
+        for ways in ASSOCIATIVITIES
+    ]
+
+
+def merge(
+    settings: ExperimentSettings, results: list[float]
+) -> Figure4Result:
+    """Zip per-point totals back into the curve layout."""
+    keys = [
+        (config_name, ways)
+        for config_name in CONFIG_NAMES
+        for ways in ASSOCIATIVITIES
+    ]
+    return Figure4Result(cells=dict(zip(keys, results)))
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     suite: str = "ibs-mach3",
@@ -71,27 +156,11 @@ def run(
     CPIinstr from 0.34 to 0.38."  With it enabled, associative L2
     points pay a 7-cycle instead of 6-cycle interface latency.
     """
-    from repro.fetch.timing import L1_L2_INTERFACE, MemoryTiming
-
-    bases = {
-        "economy": MemorySystemConfig.economy(),
-        "high-performance": MemorySystemConfig.high_performance(),
-    }
-    slower = MemoryTiming(
-        latency=L1_L2_INTERFACE.latency + 1,
-        bytes_per_cycle=L1_L2_INTERFACE.bytes_per_cycle,
-    )
-    cells: dict[tuple[str, int], float] = {}
-    for config_name, base in bases.items():
+    cells_out: dict[tuple[str, int], float] = {}
+    for config_name in CONFIG_NAMES:
         for ways in ASSOCIATIVITIES:
-            interface = (
-                slower
-                if associative_lookup_penalty and ways > 1
-                else L1_L2_INTERFACE
+            cells_out[(config_name, ways)] = _evaluate_point(
+                config_name, ways, suite, associative_lookup_penalty,
+                settings,
             )
-            config = base.with_l2(
-                CacheGeometry(L2_SIZE, L2_LINE, ways), interface
-            )
-            l1, l2 = suite_cpi_instr(suite, config, "demand", settings)
-            cells[(config_name, ways)] = l1 + l2
-    return Figure4Result(cells=cells)
+    return Figure4Result(cells=cells_out)

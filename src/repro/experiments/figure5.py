@@ -23,6 +23,8 @@ from repro.experiments.common import (
     ExperimentCell,
     ExperimentSettings,
 )
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 from repro.tapeworm.trapdriven import TapewormSimulator, VariabilityResult
 from repro.trace.rle import to_line_runs
 from repro.workloads.registry import get_trace
@@ -119,6 +121,27 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
             fn=_sweep_workload,
             args=(name, os_name, CACHE_SIZES, ASSOCIATIVITIES, N_TRIALS,
                   settings),
+        )
+        for name, os_name in WORKLOADS
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation.
+
+    Tapeworm trials apply a fresh random page mapping per trial, so the
+    translated streams (and their masks) are private to each cell; the
+    only shareable input is the synthesized trace itself.
+    """
+    return [
+        PlanCell(
+            key=("figure5", name, os_name),
+            fn=_sweep_workload,
+            args=(name, os_name, CACHE_SIZES, ASSOCIATIVITIES, N_TRIALS,
+                  settings),
+            traces=plan_inputs.workload_trace_keys(
+                [(name, os_name)], settings
+            ),
         )
         for name, os_name in WORKLOADS
     ]

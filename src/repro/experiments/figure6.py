@@ -25,6 +25,8 @@ from repro.experiments.common import (
     sweep_fetch_cpi,
 )
 from repro.fetch.timing import MemoryTiming
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 BANDWIDTHS = (4, 8, 16, 32, 64)
 LINE_SIZES = (4, 8, 16, 32, 64, 128, 256)
@@ -121,6 +123,23 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
             key=("figure6", line_size),
             fn=_sweep_line_size,
             args=(line_size, BANDWIDTHS, "ibs-mach3", settings),
+        )
+        for line_size in LINE_SIZES
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation: cells annotated with shared inputs."""
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    return [
+        PlanCell(
+            key=("figure6", line_size),
+            fn=_sweep_line_size,
+            args=(line_size, BANDWIDTHS, "ibs-mach3", settings),
+            traces=traces,
+            masks=plan_inputs.mask_families(
+                _line_size_points(line_size, BANDWIDTHS), settings.engine
+            ),
         )
         for line_size in LINE_SIZES
     ]

@@ -28,6 +28,8 @@ from repro.experiments.common import (
     sweep_fetch_cpi,
 )
 from repro.fetch.timing import MemoryTiming
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 STEPS = (
     "baseline",
@@ -133,6 +135,24 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
             key=("figure7", config_name),
             fn=_sweep_config,
             args=(config_name, "ibs-mach3", settings),
+        )
+        for config_name in CONFIG_NAMES
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation: one annotated cell per ladder."""
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    return [
+        PlanCell(
+            key=("figure7", config_name),
+            fn=_sweep_config,
+            args=(config_name, "ibs-mach3", settings),
+            traces=traces,
+            streams=plan_inputs.point_streams(_step_points(config_name)),
+            masks=plan_inputs.mask_families(
+                _step_points(config_name), settings.engine
+            ),
         )
         for config_name in CONFIG_NAMES
     ]

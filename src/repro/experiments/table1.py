@@ -21,6 +21,8 @@ from repro.experiments.common import (
     ExperimentSettings,
 )
 from repro.monitor.hwcounters import DECSTATION_3100, HardwareMonitor
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 from repro.workloads.registry import get_trace, suite_workloads
 
 #: The paper's measured values: suite -> (total memory CPI, I, D, TLB, write).
@@ -93,6 +95,26 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
             key=(suite, name, os_name),
             fn=_measure_workload,
             args=(name, os_name, settings),
+        )
+        for suite in PAPER
+        for name, os_name in suite_workloads(suite)
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation.
+
+    The hardware-monitor model walks the raw trace records itself, so
+    the only shared input is each workload's synthesized trace.
+    """
+    return [
+        PlanCell(
+            key=(suite, name, os_name),
+            fn=_measure_workload,
+            args=(name, os_name, settings),
+            traces=plan_inputs.workload_trace_keys(
+                [(name, os_name)], settings
+            ),
         )
         for suite in PAPER
         for name, os_name in suite_workloads(suite)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro._util.fmt import format_table
 from repro.workloads.ibs import IBS_WORKLOADS
 from repro.workloads.os_model import MACH3, ULTRIX, os_component_inventory
+from repro.plan import inputs as plan_inputs
 
 
 @dataclass(frozen=True)
@@ -65,3 +66,8 @@ def run(settings=None) -> Table2Result:
         "Mach 3.0": len(os_component_inventory(MACH3)),
     }
     return Table2Result(workloads=workloads, os_layers=os_layers)
+
+
+def plan_cells(settings=None):
+    """The sweep-plan compilation: one registry-only cell, no shared inputs."""
+    return plan_inputs.run_cell("table2", run, settings)

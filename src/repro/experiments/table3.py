@@ -18,6 +18,7 @@ from repro.experiments.common import DEFAULT_SETTINGS, ExperimentSettings, suite
 from repro.monitor.hwcounters import DECSTATION_3100, HardwareMonitor
 from repro.trace.record import Component
 from repro.trace.stats import component_mix
+from repro.plan import inputs as plan_inputs
 
 #: Paper values: suite -> (user%, os%, CPIinstr, CPIdata, CPIwrite).
 PAPER = {
@@ -105,3 +106,8 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Table3Result:
             cpi_write=float(np.mean([b.write for b in breakdowns])),
         )
     return Table3Result(rows=rows)
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS):
+    """The sweep-plan compilation: one cell sharing all four suites' traces."""
+    return plan_inputs.run_cell("table3", run, settings, suites=tuple(PAPER))

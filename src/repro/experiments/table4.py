@@ -24,6 +24,8 @@ from repro.experiments.common import (
     ExperimentCell,
     ExperimentSettings,
 )
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import MaskFamily, PlanCell
 from repro.trace.record import Component
 from repro.trace.stats import component_mix
 from repro.workloads.ibs import IBS_WORKLOADS
@@ -144,6 +146,53 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
         cell_list.extend(
             ExperimentCell(key=(suite, name), fn=_measure_mpi_only,
                            args=(name, os_name, settings))
+            for name, os_name in suite_workloads(suite)
+        )
+    return cell_list
+
+
+def _reference_mask_family() -> MaskFamily:
+    """The reference cache's mask shape (always mask-based)."""
+    return MaskFamily(
+        encode_line_size=REFERENCE_CACHE.line_size,
+        mask_line_size=REFERENCE_CACHE.line_size,
+        shapes=((REFERENCE_CACHE.n_sets, REFERENCE_CACHE.associativity),),
+    )
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation.
+
+    :func:`~repro.core.metrics.measure_mpi` is mask-based under every
+    engine, so each cell shares its workload's trace, the 32-byte line
+    stream, and the reference cache's mask.
+    """
+    masks = (_reference_mask_family(),)
+    cell_list = [
+        PlanCell(
+            key=("mach3", name),
+            fn=_measure_row,
+            args=(name, settings),
+            traces=plan_inputs.workload_trace_keys(
+                [(name, "mach3")], settings
+            ),
+            streams=(REFERENCE_CACHE.line_size,),
+            masks=masks,
+        )
+        for name in IBS_WORKLOADS
+    ]
+    for suite in _AVERAGE_SUITES:
+        cell_list.extend(
+            PlanCell(
+                key=(suite, name),
+                fn=_measure_mpi_only,
+                args=(name, os_name, settings),
+                traces=plan_inputs.workload_trace_keys(
+                    [(name, os_name)], settings
+                ),
+                streams=(REFERENCE_CACHE.line_size,),
+                masks=masks,
+            )
             for name, os_name in suite_workloads(suite)
         )
     return cell_list

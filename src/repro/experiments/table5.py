@@ -16,8 +16,11 @@ from repro.experiments.common import (
     DEFAULT_SETTINGS,
     ExperimentCell,
     ExperimentSettings,
+    fetch_point,
     suite_cpi_instr,
 )
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 #: Paper values: (config, suite) -> CPIinstr.
 PAPER = {
@@ -85,6 +88,28 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
     return [
         ExperimentCell(key=(config_name, suite), fn=_evaluate_cell,
                        args=(config_name, suite, settings))
+        for config_name in _CONFIG_NAMES
+        for suite in _SUITES
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation: per-entry cells with demand masks."""
+    return [
+        PlanCell(
+            key=(config_name, suite),
+            fn=_evaluate_cell,
+            args=(config_name, suite, settings),
+            traces=plan_inputs.suite_trace_keys(suite, settings),
+            masks=plan_inputs.mask_families(
+                [
+                    fetch_point(
+                        (config_name, suite), _config(config_name), "demand"
+                    )
+                ],
+                settings.engine,
+            ),
+        )
         for config_name in _CONFIG_NAMES
         for suite in _SUITES
     ]

@@ -23,6 +23,8 @@ from repro.experiments.common import (
     sweep_fetch_cpi,
 )
 from repro.fetch.timing import MemoryTiming
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 #: Paper values: (line size, prefetch depth) -> L1 CPIinstr ("—" cells
 #: omitted; the paper marks them "not reasonable or worse").
@@ -104,6 +106,28 @@ def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCel
             key=("table6", line_size),
             fn=_sweep_line_size,
             args=(line_size, PREFETCH_DEPTHS, "ibs-mach3", settings),
+        )
+        for line_size in LINE_SIZES
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation.
+
+    Prefetch kernels consult install-aware masks (not the plain demand
+    mask), so no mask family is declared — the shared inputs are the
+    traces and the per-line-size RLE streams the depths all drive.
+    """
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    return [
+        PlanCell(
+            key=("table6", line_size),
+            fn=_sweep_line_size,
+            args=(line_size, PREFETCH_DEPTHS, "ibs-mach3", settings),
+            traces=traces,
+            streams=plan_inputs.point_streams(
+                _line_size_points(line_size, PREFETCH_DEPTHS)
+            ),
         )
         for line_size in LINE_SIZES
     ]

@@ -15,11 +15,19 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
     suite_cpi_instr,
 )
-from repro.experiments.table6 import INTERFACE, LINE_SIZES, PREFETCH_DEPTHS
+from repro.experiments.table6 import (
+    INTERFACE,
+    LINE_SIZES,
+    PREFETCH_DEPTHS,
+    _line_size_points,
+)
 from repro.experiments.table6 import PAPER as PAPER_NO_BYPASS
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 #: Paper values with bypass buffers: (line, N) -> L1 CPIinstr.
 PAPER_WITH_BYPASS = {
@@ -66,6 +74,81 @@ class Table7Result:
         )
 
 
+def _sweep_line_size(
+    line_size: int, suite: str, settings: ExperimentSettings
+) -> tuple[dict[tuple[int, int], float], dict[tuple[int, int], float]]:
+    """One cell: both grids' column at one line size.
+
+    Preserves :func:`run`'s evaluation order within the column
+    (prefetch before prefetch+bypass at each depth), so the cell
+    decomposition merges to bit-identical values.
+    """
+    config = MemorySystemConfig(
+        name=f"l1-{line_size}B",
+        l1=CacheGeometry(8192, line_size, 1),
+        memory=INTERFACE,
+    )
+    no_bypass: dict[tuple[int, int], float] = {}
+    with_bypass: dict[tuple[int, int], float] = {}
+    for depth in PREFETCH_DEPTHS:
+        l1, _ = suite_cpi_instr(
+            suite, config, "prefetch", settings, n_prefetch=depth
+        )
+        no_bypass[(line_size, depth)] = l1
+        l1b, _ = suite_cpi_instr(
+            suite, config, "prefetch+bypass", settings, n_prefetch=depth
+        )
+        with_bypass[(line_size, depth)] = l1b
+    return no_bypass, with_bypass
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per L1 line size (covering both bypass variants)."""
+    return [
+        ExperimentCell(
+            key=("table7", line_size),
+            fn=_sweep_line_size,
+            args=(line_size, "ibs-mach3", settings),
+        )
+        for line_size in LINE_SIZES
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation.
+
+    Both mechanisms consult install-aware masks (not the plain demand
+    mask), so the shared inputs are the traces and per-line-size
+    streams — the same ones Table 6's columns declare.
+    """
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    return [
+        PlanCell(
+            key=("table7", line_size),
+            fn=_sweep_line_size,
+            args=(line_size, "ibs-mach3", settings),
+            traces=traces,
+            streams=plan_inputs.point_streams(
+                _line_size_points(line_size, PREFETCH_DEPTHS)
+            ),
+        )
+        for line_size in LINE_SIZES
+    ]
+
+
+def merge(
+    settings: ExperimentSettings,
+    results: list[tuple[dict, dict]],
+) -> Table7Result:
+    """Combine the per-line-size columns into both grids."""
+    no_bypass: dict[tuple[int, int], float] = {}
+    with_bypass: dict[tuple[int, int], float] = {}
+    for cell_no_bypass, cell_with_bypass in results:
+        no_bypass.update(cell_no_bypass)
+        with_bypass.update(cell_with_bypass)
+    return Table7Result(no_bypass=no_bypass, with_bypass=with_bypass)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     suite: str = "ibs-mach3",
@@ -74,18 +157,9 @@ def run(
     no_bypass: dict[tuple[int, int], float] = {}
     with_bypass: dict[tuple[int, int], float] = {}
     for line_size in LINE_SIZES:
-        config = MemorySystemConfig(
-            name=f"l1-{line_size}B",
-            l1=CacheGeometry(8192, line_size, 1),
-            memory=INTERFACE,
+        cell_no_bypass, cell_with_bypass = _sweep_line_size(
+            line_size, suite, settings
         )
-        for depth in PREFETCH_DEPTHS:
-            l1, _ = suite_cpi_instr(
-                suite, config, "prefetch", settings, n_prefetch=depth
-            )
-            no_bypass[(line_size, depth)] = l1
-            l1b, _ = suite_cpi_instr(
-                suite, config, "prefetch+bypass", settings, n_prefetch=depth
-            )
-            with_bypass[(line_size, depth)] = l1b
+        no_bypass.update(cell_no_bypass)
+        with_bypass.update(cell_with_bypass)
     return Table7Result(no_bypass=no_bypass, with_bypass=with_bypass)

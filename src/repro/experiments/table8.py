@@ -16,10 +16,14 @@ from repro.caches.base import CacheGeometry
 from repro.core.config import MemorySystemConfig
 from repro.experiments.common import (
     DEFAULT_SETTINGS,
+    ExperimentCell,
     ExperimentSettings,
+    fetch_point,
     suite_cpi_instr,
 )
 from repro.fetch.timing import MemoryTiming
+from repro.plan import inputs as plan_inputs
+from repro.plan.ir import PlanCell
 
 #: Paper values: bandwidth (B/cyc) -> {buffer lines -> CPIinstr}.
 PAPER = {
@@ -53,21 +57,88 @@ class Table8Result:
         )
 
 
+def _bandwidth_config(bw: int) -> MemorySystemConfig:
+    return MemorySystemConfig(
+        name=f"pipelined-{bw}",
+        l1=CacheGeometry(8192, bw, 1),
+        memory=MemoryTiming(latency=6, bytes_per_cycle=bw),
+    )
+
+
+def _bandwidth_points(bw: int):
+    """All buffer-depth points of one bandwidth column."""
+    config = _bandwidth_config(bw)
+    return [
+        fetch_point((bw, n_lines), config, "stream-buffer", n_lines=n_lines)
+        for n_lines in BUFFER_SIZES
+    ]
+
+
+def _sweep_bandwidth(
+    bw: int, suite: str, settings: ExperimentSettings
+) -> dict[tuple[int, int], float]:
+    """One cell: every buffer size at one interface bandwidth."""
+    config = _bandwidth_config(bw)
+    column: dict[tuple[int, int], float] = {}
+    for n_lines in BUFFER_SIZES:
+        l1, _ = suite_cpi_instr(
+            suite, config, "stream-buffer", settings, n_lines=n_lines
+        )
+        column[(bw, n_lines)] = l1
+    return column
+
+
+def cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[ExperimentCell]:
+    """One cell per interface bandwidth."""
+    return [
+        ExperimentCell(
+            key=("table8", bw),
+            fn=_sweep_bandwidth,
+            args=(bw, "ibs-mach3", settings),
+        )
+        for bw in BANDWIDTHS
+    ]
+
+
+def plan_cells(settings: ExperimentSettings = DEFAULT_SETTINGS) -> list[PlanCell]:
+    """The sweep-plan compilation.
+
+    Stream buffers consult the plain demand mask, so each bandwidth's
+    L1 shape joins the batched mask pass alongside its stream.
+    """
+    traces = plan_inputs.suite_trace_keys("ibs-mach3", settings)
+    return [
+        PlanCell(
+            key=("table8", bw),
+            fn=_sweep_bandwidth,
+            args=(bw, "ibs-mach3", settings),
+            traces=traces,
+            streams=plan_inputs.point_streams(_bandwidth_points(bw)),
+            masks=plan_inputs.mask_families(
+                _bandwidth_points(bw), settings.engine
+            ),
+        )
+        for bw in BANDWIDTHS
+    ]
+
+
+def merge(
+    settings: ExperimentSettings,
+    results: list[dict[tuple[int, int], float]],
+) -> Table8Result:
+    """Combine the per-bandwidth columns."""
+    merged: dict[tuple[int, int], float] = {}
+    for column in results:
+        merged.update(column)
+    return Table8Result(cells=merged)
+
+
 def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     suite: str = "ibs-mach3",
 ) -> Table8Result:
     """Reproduce Table 8 for both interface bandwidths."""
-    cells: dict[tuple[int, int], float] = {}
+    cells_out: dict[tuple[int, int], float] = {}
     for bw in BANDWIDTHS:
-        config = MemorySystemConfig(
-            name=f"pipelined-{bw}",
-            l1=CacheGeometry(8192, bw, 1),
-            memory=MemoryTiming(latency=6, bytes_per_cycle=bw),
-        )
-        for n_lines in BUFFER_SIZES:
-            l1, _ = suite_cpi_instr(
-                suite, config, "stream-buffer", settings, n_lines=n_lines
-            )
-            cells[(bw, n_lines)] = l1
-    return Table8Result(cells=cells)
+        cells_out.update(_sweep_bandwidth(bw, suite, settings))
+    return Table8Result(cells=cells_out)

@@ -1,0 +1,78 @@
+"""Compiling experiment modules into the sweep-plan IR.
+
+Every experiment module can be compiled; the fidelity degrades
+gracefully:
+
+* ``plan_cells(settings)`` — the module emits annotated
+  :class:`~repro.plan.ir.PlanCell`\\ s (all in-tree experiments);
+* ``cells``/``merge`` only — the legacy pool decomposition is wrapped
+  as unannotated plan cells (schedulable, no input dedup);
+* neither — the whole ``run`` becomes one unannotated cell.
+
+The merge contract is unchanged from the pool runner: ``plan_cells``
+must enumerate cells in the order ``merge`` expects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.plan.ir import CompiledExperiment, PlanCell, SweepPlan
+from repro.runner.pool import has_cells
+
+__all__ = ["compile_module", "compile_report", "has_plan"]
+
+
+def has_plan(module) -> bool:
+    """Whether a module emits annotated plan cells natively."""
+    return hasattr(module, "plan_cells")
+
+
+def _module_label(module) -> str:
+    return module.__name__.rsplit(".", 1)[-1]
+
+
+def compile_module(
+    module, settings, name: str | None = None
+) -> CompiledExperiment:
+    """Lower one experiment module to a :class:`CompiledExperiment`."""
+    if name is None:
+        name = _module_label(module)
+    if has_plan(module):
+        cells = tuple(module.plan_cells(settings))
+        merge = module.merge if hasattr(module, "merge") else None
+    elif has_cells(module):
+        cells = tuple(
+            PlanCell(key=cell.key, fn=cell.fn, args=cell.args)
+            for cell in module.cells(settings)
+        )
+        merge = module.merge
+    else:
+        cells = (PlanCell(key=(name,), fn=module.run, args=(settings,)),)
+        merge = None
+    # Namespace cell keys by experiment so a report plan's timing cells
+    # stay unambiguous when two experiments use similar keys.
+    cells = tuple(
+        PlanCell(
+            key=(name, *cell.key) if cell.key[:1] != (name,) else cell.key,
+            fn=cell.fn,
+            args=cell.args,
+            traces=cell.traces,
+            streams=cell.streams,
+            masks=cell.masks,
+        )
+        for cell in cells
+    )
+    return CompiledExperiment(
+        name=name, cells=cells, merge=merge, settings=settings
+    )
+
+
+def compile_report(modules: Mapping[str, object], settings) -> SweepPlan:
+    """Compile many experiments into one grid-wide plan."""
+    return SweepPlan(
+        experiments=tuple(
+            compile_module(module, settings, name=name)
+            for name, module in modules.items()
+        )
+    )

@@ -215,52 +215,42 @@ def run_cells(
 def run_experiment(
     module, settings, jobs: int = 1, label: str | None = None
 ):
-    """Run one experiment module, parallelized over its cells.
+    """Run one experiment module through its compiled sweep plan.
 
-    Modules exposing ``cells``/``merge`` are decomposed; others run as a
-    single cell.  Returns ``(result, TimingReport)``; the result is
-    bit-identical to ``module.run(settings)``.
+    Delegates to :func:`repro.plan.executor.run_experiment` (imported
+    lazily: the plan layer builds on this module): the module compiles
+    to annotated plan cells, shared inputs are primed once, and the
+    cells fan out over :func:`run_cells`.  Returns
+    ``(result, TimingReport)``; the result is bit-identical to
+    ``module.run(settings)``.
     """
-    if label is None:
-        label = module.__name__.rsplit(".", 1)[-1]
-    start = time.perf_counter()
-    with tracing.span(
-        "experiment", label=label, jobs=resolve_jobs(jobs)
-    ):
-        if has_cells(module):
-            cell_list = module.cells(settings)
-            results, timings = run_cells(cell_list, jobs)
-            result = module.merge(settings, results)
-        else:
-            cell_list = [
-                ExperimentCell(key=(label,), fn=module.run, args=(settings,))
-            ]
-            results, timings = run_cells(cell_list, jobs)
-            result = results[0]
-    wall = time.perf_counter() - start
-    report = TimingReport(
-        label=label, jobs=resolve_jobs(jobs), wall_seconds=wall,
-        cells=tuple(timings),
-    )
-    return result, report
+    from repro.plan.executor import run_experiment as _run
+
+    return _run(module, settings, jobs=jobs, label=label)
 
 
 def _run_module_cell(name: str, settings) -> str:
-    """Report cell: run one whole experiment and return its rendering."""
+    """Legacy report cell: run one whole experiment, return its rendering.
+
+    No longer on the ``repro report`` path (which compiles one
+    grid-wide plan); kept as the pre-plan comparator that
+    ``benchmarks/bench_report.py`` times the executor against.
+    """
     from repro.experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 
     module = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}[name]
     return module.run(settings).render()
 
 
-def run_report(
+def run_report_legacy(
     modules: Mapping[str, object], settings, jobs: int = 1
 ) -> tuple[list[tuple[str, str]], TimingReport]:
-    """Run many experiments side by side (the ``repro report`` engine).
+    """The pre-plan ``repro report`` engine: one cell per experiment.
 
-    Parallelism is at experiment granularity: each module is one cell
-    returning its rendered table.  Returns ``[(name, rendering), ...]``
-    in the order of ``modules`` plus the aggregate timing report.
+    Parallelism at experiment granularity, each worker re-deriving its
+    own traces/streams/masks.  Retained as the benchmark baseline and
+    golden reference; production runs go through
+    :func:`repro.plan.executor.run_report`.
     """
     start = time.perf_counter()
     cell_list = [
@@ -274,3 +264,20 @@ def run_report(
         cells=tuple(timings),
     )
     return list(zip(modules, results)), report
+
+
+def run_report(
+    modules: Mapping[str, object], settings, jobs: int = 1
+) -> tuple[list[tuple[str, str]], TimingReport]:
+    """Run many experiments as one compiled plan (``repro report``).
+
+    Delegates to :func:`repro.plan.executor.run_report`: all modules
+    compile into a single sweep plan whose shared inputs are primed
+    once across experiments (one trace walk per workload stream for
+    the whole report) before the deduplicated cells fan out.  Returns
+    ``[(name, rendering), ...]`` in module order plus the timing
+    report carrying the plan-dedup stats block.
+    """
+    from repro.plan.executor import run_report as _run
+
+    return _run(modules, settings, jobs=jobs)

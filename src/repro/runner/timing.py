@@ -208,19 +208,35 @@ class TimingReport:
         jobs: worker processes used (1 = in-process serial).
         wall_seconds: end-to-end wall time including scheduling.
         cells: per-cell accounting in deterministic merge order.
+        plan: sweep-plan dedup stats when the run went through the
+            plan executor (``cells_total``, ``cells_unique``,
+            ``inputs_total``, ``inputs_shared``, ``inputs_primed``,
+            plus priming wall/phase accounting); ``None`` for raw
+            pool runs.
     """
 
     label: str
     jobs: int
     wall_seconds: float
     cells: tuple[CellTiming, ...]
+    plan: dict | None = None
 
     @property
     def phase_totals(self) -> dict[str, float]:
-        """Seconds per phase summed over all cells."""
+        """Seconds per phase summed over all cells (plus plan priming).
+
+        A plan-executed run does part of the work — trace synthesis,
+        line-run encoding, batched mask passes — once up front in the
+        parent; those seconds live in the plan stats' ``prime_phases``
+        and are folded in here so the totals still account for all
+        work performed.
+        """
         totals: dict[str, float] = {}
         for cell in self.cells:
             for name, seconds in cell.phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        if self.plan:
+            for name, seconds in self.plan.get("prime_phases", {}).items():
                 totals[name] = totals.get(name, 0.0) + seconds
         return totals
 
@@ -239,7 +255,7 @@ class TimingReport:
         return totals
 
     def to_dict(self) -> dict:
-        return {
+        record = {
             "label": self.label,
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
@@ -247,6 +263,9 @@ class TimingReport:
             "engine_dispatch": _nest_dispatch(self.dispatch_totals),
             "cells": [cell.to_dict() for cell in self.cells],
         }
+        if self.plan is not None:
+            record["plan"] = dict(self.plan)
+        return record
 
     def write(self, path: str | os.PathLike) -> None:
         """Write the report as JSON to ``path``."""
@@ -277,6 +296,7 @@ class TimingReport:
             jobs=data["jobs"],
             wall_seconds=data["wall_seconds"],
             cells=cells,
+            plan=data.get("plan"),
         )
 
     @classmethod

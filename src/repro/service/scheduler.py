@@ -9,8 +9,11 @@ Three responsibilities sit between the HTTP layer and the compute layer
   the experiment executes exactly once.
 * **Batching** — compatible ``evaluate`` requests (same OS/trace-length/
   seed signature, i.e. same synthesized traces) arriving within one
-  batch window are dispatched as a single :func:`run_cells` call, so a
-  burst of point queries shares trace synthesis and the process pool.
+  batch window compile into one sweep plan (see
+  :func:`evaluate_group_cells`) executed by
+  :func:`repro.plan.executor.execute_cells`, so a burst of point
+  queries shares trace synthesis, primed miss masks, and the process
+  pool.
 * **Non-blocking dispatch** — simulation work runs on a small thread
   pool (which itself fans out over the process pool when ``jobs > 1``),
   keeping the asyncio event loop free to accept and answer requests.
@@ -36,13 +39,17 @@ from repro.fetch import dispatch
 from repro.experiments.common import (
     ExperimentSettings,
     canonical_job_key,
+    fetch_point,
     settings_record,
 )
 from repro.obs import tracing
 from repro.obs.logs import log_event
 from repro.obs.manifest import build_manifest, write_manifest
+from repro.plan import inputs as plan_inputs
+from repro.plan.executor import execute_cells
+from repro.plan.ir import PlanCell
 from repro.runner import timing
-from repro.runner.pool import ExperimentCell, run_cells, run_experiment
+from repro.runner.pool import run_experiment
 from repro.workloads import registry
 
 #: Job lifecycle states.
@@ -261,6 +268,61 @@ def _evaluate_group_cell(
             },
         })
     return payloads
+
+
+def evaluate_group_cells(
+    requests: list[EvaluateRequest],
+) -> tuple[dict[tuple, list[int]], list[PlanCell]]:
+    """Compile point requests into annotated plan cells.
+
+    One cell per ``(workload, OS, engine)`` group: all of a workload's
+    requested points evaluate against a single loaded trace.  Each cell
+    declares its shared inputs — the trace, the L1/L2 line-run streams,
+    and the demand-mask families its points consult — so the plan
+    executor primes them once before the pool forks.  Returns the
+    group-to-request-indices mapping (in first-seen order, matching the
+    cell list) alongside the cells; both the scheduler's evaluate
+    flush and ``repro warm`` build their batches here.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(request.group_key, []).append(index)
+    cells = []
+    for group_key, indices in groups.items():
+        workload, os_name, engine = group_key
+        settings = requests[indices[0]].settings
+        points = [
+            fetch_point(
+                (requests[i].config_name, requests[i].mechanism),
+                _named_config(requests[i].config_name),
+                requests[i].mechanism,
+            )
+            for i in indices
+        ]
+        cells.append(
+            PlanCell(
+                key=group_key,
+                fn=_evaluate_group_cell,
+                args=(
+                    workload,
+                    os_name,
+                    engine,
+                    tuple(
+                        (requests[i].config_name, requests[i].mechanism)
+                        for i in indices
+                    ),
+                    settings.n_instructions,
+                    settings.seed,
+                    settings.warmup_fraction,
+                ),
+                traces=plan_inputs.workload_trace_keys(
+                    [(workload, os_name)], settings
+                ),
+                streams=plan_inputs.point_streams(points),
+                masks=plan_inputs.mask_families(points, engine),
+            )
+        )
+    return groups, cells
 
 
 class JobScheduler:
@@ -554,6 +616,22 @@ class JobScheduler:
         manifest = build_manifest(recorder, extra=extra)
         return write_manifest(manifest, self.obs_dir)
 
+    def _record_plan_stats(self, stats: dict | None) -> None:
+        """Fold one executed plan's dedup counters into ``/metrics``."""
+        if not stats:
+            return
+        self.metrics.inc("plan_cells_total", amount=stats["cells_total"])
+        self.metrics.inc(
+            "plan_cells_deduped_total",
+            amount=stats["cells_total"] - stats["cells_unique"],
+        )
+        self.metrics.inc(
+            "plan_inputs_shared_total", amount=stats["inputs_shared"]
+        )
+        self.metrics.inc(
+            "plan_inputs_primed_total", amount=stats["inputs_primed"]
+        )
+
     def _execute_experiment(
         self, job: Job, name: str, module, settings: ExperimentSettings
     ):
@@ -576,6 +654,7 @@ class JobScheduler:
                 result, report = run_experiment(
                     module, settings, self.jobs, name
                 )
+            self._record_plan_stats(report.plan)
         finally:
             self._jobs_settled(1, time.perf_counter() - started)
         manifest_path = self._finish_manifest(
@@ -690,34 +769,9 @@ class JobScheduler:
         self.metrics.observe("eval_batch_size", len(batch))
         # One cell per (workload, OS, engine): all of a workload's
         # requested points share one trace and its memoized miss masks.
-        groups: dict[tuple, list[int]] = {}
-        for index, (request, _job) in enumerate(batch):
-            groups.setdefault(request.group_key, []).append(index)
-        cells = []
-        for group_key, indices in groups.items():
-            workload, os_name, engine = group_key
-            first = batch[indices[0]][0]
-            cells.append(
-                ExperimentCell(
-                    key=group_key,
-                    fn=_evaluate_group_cell,
-                    args=(
-                        workload,
-                        os_name,
-                        engine,
-                        tuple(
-                            (
-                                batch[i][0].config_name,
-                                batch[i][0].mechanism,
-                            )
-                            for i in indices
-                        ),
-                        first.settings.n_instructions,
-                        first.settings.seed,
-                        first.settings.warmup_fraction,
-                    ),
-                )
-            )
+        groups, cells = evaluate_group_cells(
+            [request for request, _job in batch]
+        )
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         # The flush is one traced run: its trace id is the first job's
@@ -777,7 +831,7 @@ class JobScheduler:
 
     def _execute_eval_batch(
         self,
-        cells: list[ExperimentCell],
+        cells: list[PlanCell],
         trace_id: str,
         requests_meta: list,
         created_ats: list[float],
@@ -792,7 +846,10 @@ class JobScheduler:
                 on_span=self._span_observer,
                 batch_size=len(requests_meta),
             ) as recorder:
-                results, _ = run_cells(cells, self.jobs)
+                results, plan_report = execute_cells(
+                    cells, self.jobs, label="evaluate-batch"
+                )
+            self._record_plan_stats(plan_report.plan)
         finally:
             self._jobs_settled(
                 len(created_ats), time.perf_counter() - started

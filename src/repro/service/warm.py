@@ -18,11 +18,11 @@ import time
 
 from repro.core.study import MECHANISMS
 from repro.experiments.common import ExperimentSettings
-from repro.runner.pool import ExperimentCell, run_cells
+from repro.plan.executor import execute_cells
 from repro.service.scheduler import (
     CONFIGS,
     EvaluateRequest,
-    _evaluate_group_cell,
+    evaluate_group_cells,
 )
 from repro.service.store import ResultStore
 from repro.workloads.registry import list_workloads, suite_workloads
@@ -62,45 +62,24 @@ def warm_store(
 ) -> dict:
     """Compute and store every missing cell of ``plan``.
 
-    Returns a tally: total/stored/skipped cells and wall seconds.
-    Grouping mirrors the scheduler: one compute cell per
-    ``(workload, os, engine)`` evaluates all of that workload's
-    requested points against a single loaded trace.
+    Returns a tally: total/stored/skipped cells, wall seconds, and the
+    plan's dedup counters.  The batch compiles through the scheduler's
+    :func:`~repro.service.scheduler.evaluate_group_cells` — one compute
+    cell per ``(workload, os, engine)`` evaluating all of that
+    workload's requested points against a single loaded trace — and
+    executes on the plan executor, which primes each shared trace,
+    stream, and mask family once before the pool forks.
     """
     started = time.perf_counter()
     missing = [
         request for request in plan if request.key() not in store
     ]
-    groups: dict[tuple, list[EvaluateRequest]] = {}
-    for request in missing:
-        groups.setdefault(request.group_key, []).append(request)
-    cells = []
-    for group_key, requests in groups.items():
-        workload, os_name, engine = group_key
-        first = requests[0]
-        cells.append(
-            ExperimentCell(
-                key=group_key,
-                fn=_evaluate_group_cell,
-                args=(
-                    workload,
-                    os_name,
-                    engine,
-                    tuple(
-                        (request.config_name, request.mechanism)
-                        for request in requests
-                    ),
-                    first.settings.n_instructions,
-                    first.settings.seed,
-                    first.settings.warmup_fraction,
-                ),
-            )
-        )
-    results, _timings = run_cells(cells, jobs)
+    groups, cells = evaluate_group_cells(missing)
+    results, report = execute_cells(cells, jobs, label="warm")
     stored = 0
-    for requests, payloads in zip(groups.values(), results):
-        for request, payload in zip(requests, payloads):
-            store.put(request.key(), payload)
+    for indices, payloads in zip(groups.values(), results):
+        for index, payload in zip(indices, payloads):
+            store.put(missing[index].key(), payload)
             stored += 1
     return {
         "cells": len(plan),
@@ -110,4 +89,5 @@ def warm_store(
         "seconds": round(time.perf_counter() - started, 3),
         "store_entries": len(store),
         "store_bytes": store.current_bytes,
+        "plan": report.plan,
     }

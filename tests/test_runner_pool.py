@@ -161,7 +161,13 @@ class TestRunReport:
         assert renderings[0][1] == table5.run(SETTINGS).render()
         assert renderings[1][1] == table4.run(SETTINGS).render()
         assert report.label == "report"
-        assert len(report.cells) == 2
+        # Timing granularity is the plan cell, namespaced by experiment.
+        expected = len(table5.plan_cells(SETTINGS)) + len(
+            table4.plan_cells(SETTINGS)
+        )
+        assert len(report.cells) == expected
+        assert report.plan is not None
+        assert report.plan["cells_total"] == expected
 
     def test_timing_report_has_phases(self):
         clear_trace_cache()
